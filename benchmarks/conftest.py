@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at reduced scale (see DESIGN.md §4 and EXPERIMENTS.md): the
+paper's absolute numbers came from a 32-node cluster; what these benchmarks
+pin is the *shape* — growth trends and method orderings — which survives
+down-scaling. Scale knobs honour the REPRO_BENCH_SCALE environment variable
+(default 1.0 = the reduced defaults; raise it to approach paper sizes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.gaussians import gaussian_mixture
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale_factor():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def mixture_cache():
+    """Memoized mixture datasets shared across benchmark files."""
+    cache = {}
+
+    def get(n_points: int, n_dims: int, seed: int = 0, separation: float = 3.0):
+        key = (n_points, n_dims, seed, separation)
+        if key not in cache:
+            cache[key] = gaussian_mixture(
+                n_points=n_points, n_dims=n_dims, n_clusters=4,
+                separation=separation, seed=seed,
+            )
+        return cache[key]
+
+    return get

@@ -1,0 +1,124 @@
+"""Ablation benchmarks A1–A3 (DESIGN.md §4).
+
+A1 — partitioning mechanism under cluster imbalance,
+A2 — bootstrap width (number of random projections),
+A3 — the N_rp = 1.5·log N reduction rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KeyBin2
+from repro.core.keybin1 import KeyBin1
+from repro.core.projection import target_dimension
+from repro.data.gaussians import gaussian_mixture
+from repro.metrics.pairs import pair_precision_recall_f1
+
+
+class TestA1Partitioning:
+    """KeyBin1's density threshold vs KeyBin2's discrete optimization."""
+
+    @pytest.fixture(scope="class")
+    def imbalanced(self):
+        # Strongly skewed cluster weights: the regime where a global
+        # density threshold erases small clusters.
+        return gaussian_mixture(
+            n_points=6000, n_dims=8, n_clusters=4,
+            weight_concentration=0.4, separation=6.0, seed=2,
+        )
+
+    def test_keybin1_on_imbalance(self, benchmark, imbalanced):
+        x, y = imbalanced
+        kb = benchmark(lambda: KeyBin1(depth=6).fit(x))
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        benchmark.extra_info["f1"] = round(f1, 3)
+
+    def test_keybin2_on_imbalance(self, benchmark, imbalanced):
+        x, y = imbalanced
+        kb = benchmark(lambda: KeyBin2(seed=2).fit(x))
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        benchmark.extra_info["f1"] = round(f1, 3)
+
+    def test_keybin2_more_robust_to_imbalance(self):
+        """Averaged over seeds, the optimization-based partitioner must
+        beat the threshold heuristic on skewed mixtures."""
+        f1_kb1, f1_kb2 = [], []
+        for seed in range(4):
+            x, y = gaussian_mixture(
+                n_points=4000, n_dims=8, n_clusters=4,
+                weight_concentration=0.4, separation=6.0, seed=seed,
+            )
+            _, _, a = pair_precision_recall_f1(y, KeyBin1(depth=6).fit(x).labels_)
+            _, _, b = pair_precision_recall_f1(y, KeyBin2(seed=seed).fit(x).labels_)
+            f1_kb1.append(a)
+            f1_kb2.append(b)
+        assert np.mean(f1_kb2) > np.mean(f1_kb1)
+
+
+class TestA2Bootstrap:
+    """More projections cost linearly more but buy accuracy robustness."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return gaussian_mixture(n_points=3000, n_dims=32, n_clusters=4,
+                                separation=3.0, seed=0)
+
+    @pytest.mark.parametrize("t", (1, 4, 16))
+    def test_bootstrap_width_cost(self, benchmark, data, t):
+        x, y = data
+        kb = benchmark(lambda: KeyBin2(n_projections=t, seed=0).fit(x))
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        benchmark.extra_info["f1"] = round(f1, 3)
+
+    def test_wider_bootstrap_never_hurts_score(self, data):
+        """The selected model's CH score is monotone in the trial budget
+        (it is a max over trials with a shared seed sequence prefix)."""
+        x, _ = data
+        scores = []
+        for t in (1, 4, 16):
+            scores.append(KeyBin2(n_projections=t, seed=0).fit(x).score_)
+        assert scores[0] <= scores[1] <= scores[2]
+
+
+class TestA3ReductionRule:
+    """N_rp sweep around the paper rule at N = 256."""
+
+    N_DIMS = 256
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return gaussian_mixture(n_points=3000, n_dims=self.N_DIMS,
+                                n_clusters=4, separation=3.0, seed=0)
+
+    @pytest.mark.parametrize("n_rp", (2, 9, 17))  # min / paper / 2×paper
+    def test_nrp_cost(self, benchmark, data, n_rp):
+        x, y = data
+        kb = benchmark(
+            lambda: KeyBin2(n_components=n_rp, n_projections=4, seed=0).fit(x)
+        )
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        benchmark.extra_info["f1"] = round(f1, 3)
+
+    def test_paper_rule_value(self):
+        assert target_dimension(self.N_DIMS) == 9  # ceil(1.5·ln 256)
+
+    def test_paper_rule_competitive(self, data):
+        """The paper's N_rp must match (or beat) the tiny N_rp = 2 choice
+        in accuracy on high-dimensional data, averaged over seeds."""
+        f1_tiny, f1_rule = [], []
+        for seed in range(3):
+            x, y = gaussian_mixture(
+                n_points=2000, n_dims=self.N_DIMS, n_clusters=4,
+                separation=3.0, seed=seed,
+            )
+            _, _, a = pair_precision_recall_f1(
+                y, KeyBin2(n_components=2, n_projections=4, seed=seed).fit(x).labels_
+            )
+            _, _, b = pair_precision_recall_f1(
+                y, KeyBin2(n_projections=4, seed=seed).fit(x).labels_
+            )
+            f1_tiny.append(a)
+            f1_rule.append(b)
+        assert np.mean(f1_rule) >= np.mean(f1_tiny) - 0.02

@@ -1,0 +1,53 @@
+"""Figure 1 — random projections decorrelate overlapping clusters.
+
+Benchmarks the projection + assessment machinery on the Figure-1 workload
+and pins the qualitative outcome: some random rotations separate the data
+(overlap → small) while KeyBin1, stuck in the original axes, cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments_figures import class_overlap_1d, run_fig1
+from repro.core.estimator import KeyBin2
+from repro.core.keybin1 import KeyBin1
+from repro.core.projection import projection_matrix
+from repro.data.correlated import correlated_clusters
+
+
+@pytest.fixture(scope="module")
+def fig1_data():
+    return correlated_clusters(3000, seed=1)
+
+
+def test_fig1_experiment(benchmark, fig1_data):
+    result = benchmark(lambda: run_fig1(n_points=3000, seed=1))
+    # Original axes overlap heavily …
+    o0, o1 = result.overlaps["original (a)"]
+    assert min(o0, o1) > 0.4
+    # … some random projection separates much better …
+    best = min(min(v) for k, v in result.overlaps.items() if k != "original (a)")
+    assert best < min(o0, o1)
+    # … and the algorithms reflect it.
+    assert result.keybin2_f1 > result.keybin1_f1
+    benchmark.extra_info["keybin1_f1"] = round(result.keybin1_f1, 3)
+    benchmark.extra_info["keybin2_f1"] = round(result.keybin2_f1, 3)
+
+
+def test_keybin2_bootstrap_cost(benchmark, fig1_data):
+    x, _ = fig1_data
+    benchmark(lambda: KeyBin2(n_projections=10, seed=1).fit(x))
+
+
+def test_keybin1_cost(benchmark, fig1_data):
+    x, _ = fig1_data
+    benchmark(lambda: KeyBin1(depth=6).fit(x))
+
+
+def test_projection_overlap_measure(benchmark, fig1_data):
+    x, y = fig1_data
+    a = projection_matrix(2, 2, seed=7)
+    p = x @ a
+    benchmark(lambda: class_overlap_1d(p[:, 0], y))

@@ -1,0 +1,82 @@
+"""Microbenchmarks of the data-parallel kernels (the GPU-substitute layer).
+
+These are the operations the paper offloads to CUDA; their throughput
+determines the slope of every scalability curve, so they are tracked
+separately from the end-to-end experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.binning import SpaceRange
+from repro.kernels.engine import KernelEngine
+from repro.kernels.histogram import accumulate_histogram
+from repro.kernels.keys import bin_indices, pack_keys
+from repro.kernels.labels import intervals_for_bins
+from repro.kernels.project import project_points
+
+M, N, N_RP = 50_000, 128, 8
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((M, N))
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((N, N_RP))
+    return a / np.linalg.norm(a, axis=0, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def projected(points, matrix):
+    return points @ matrix
+
+
+@pytest.fixture(scope="module")
+def space(projected):
+    return SpaceRange.from_data(projected)
+
+
+@pytest.fixture(scope="module")
+def bins(projected, space):
+    return bin_indices(projected, space.r_min, space.r_max, 6)
+
+
+def test_projection_kernel(benchmark, points, matrix):
+    out = benchmark(lambda: project_points(points, matrix))
+    assert out.shape == (M, N_RP)
+
+
+def test_projection_kernel_chunked(benchmark, points, matrix):
+    engine = KernelEngine(block_size=8192)
+    out = benchmark(lambda: project_points(points, matrix, engine=engine))
+    assert out.shape == (M, N_RP)
+
+
+def test_key_assignment_kernel(benchmark, projected, space):
+    out = benchmark(
+        lambda: bin_indices(projected, space.r_min, space.r_max, 6)
+    )
+    assert out.shape == (M, N_RP)
+
+
+def test_histogram_kernel(benchmark, bins):
+    counts = benchmark(lambda: accumulate_histogram(bins, 64))
+    assert counts.sum() == M * N_RP
+
+
+def test_key_packing_kernel(benchmark, bins):
+    keys = benchmark(lambda: pack_keys(bins, 6))
+    assert keys.shape == (M,)
+
+
+def test_interval_mapping_kernel(benchmark, bins):
+    cuts = [np.array([20, 40], dtype=np.int64)] * N_RP
+    iv = benchmark(lambda: intervals_for_bins(bins, cuts))
+    assert iv.max() <= 2

@@ -1,0 +1,74 @@
+"""Streaming-mode benchmarks: ingest throughput and consolidation cost.
+
+The paper's streaming story lives or dies on two numbers: how fast
+``partial_fit`` absorbs a batch (must keep up with the producing
+simulation) and how expensive a periodic ``refresh`` is (runs at
+consolidation points). Both must be independent of the stream's history
+length — only of the histogram size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingKeyBin2
+from repro.data.gaussians import gaussian_mixture
+
+N_DIMS = 64
+BATCH = 1000
+
+
+@pytest.fixture(scope="module")
+def warm_stream():
+    """A stream that has already absorbed 20k points."""
+    x, _ = gaussian_mixture(20_000, N_DIMS, n_clusters=4, seed=0)
+    skb = StreamingKeyBin2(seed=0, n_projections=4)
+    for i in range(0, x.shape[0], BATCH):
+        skb.partial_fit(x[i : i + BATCH])
+    fresh, _ = gaussian_mixture(BATCH, N_DIMS, n_clusters=4, seed=1)
+    return skb, fresh
+
+
+def test_partial_fit_throughput(benchmark, warm_stream):
+    skb, batch = warm_stream
+
+    def run():
+        skb.partial_fit(batch)
+
+    benchmark(run)
+    benchmark.extra_info["points_per_batch"] = BATCH
+
+
+def test_refresh_cost(benchmark, warm_stream):
+    skb, _ = warm_stream
+    benchmark(skb.refresh)
+    benchmark.extra_info["n_seen"] = skb.n_seen_
+
+
+def test_predict_throughput(benchmark, warm_stream):
+    skb, batch = warm_stream
+    skb.refresh()
+    labels = benchmark(lambda: skb.predict(batch))
+    assert labels.shape == (BATCH,)
+
+
+def test_ingest_cost_flat_in_history():
+    """partial_fit on batch #100 must cost the same as on batch #2 —
+    the accumulators are histograms, not data."""
+    import time
+
+    x, _ = gaussian_mixture(60_000, N_DIMS, n_clusters=4, seed=2)
+    skb = StreamingKeyBin2(seed=2, n_projections=4)
+    skb.partial_fit(x[:BATCH])
+
+    def cost_of_next(start):
+        t0 = time.perf_counter()
+        skb.partial_fit(x[start : start + BATCH])
+        return time.perf_counter() - t0
+
+    early = min(cost_of_next(BATCH * (1 + i)) for i in range(3))
+    for i in range(4, 55):
+        skb.partial_fit(x[BATCH * i : BATCH * (i + 1)])
+    late = min(cost_of_next(BATCH * 56), cost_of_next(BATCH * 57))
+    assert late < early * 3.0

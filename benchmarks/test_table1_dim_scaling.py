@@ -1,0 +1,88 @@
+"""Table 1 — scalability and accuracy as dimensionality grows (20 → 1280).
+
+Paper shape being reproduced:
+
+* KeyBin2's time grows roughly linearly with dimensionality, and much
+  slower than parallel-kmeans' (whose per-iteration cost and communication
+  are O(k·N));
+* KeyBin2 finds ≥ the true number of clusters with precision ≈ 1 and the
+  best F1 at high dimensionality;
+* k-means++ becomes unusable beyond a dimension limit.
+
+Run ``python -m repro table1`` for the full paper-style table with CIs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments_synthetic import (
+    _keybin_metrics,
+    _parallel_kmeans_metrics,
+)
+from repro.core.distributed import fit_distributed
+from repro.data.streams import distributed_partitions
+from repro.metrics.pairs import pair_precision_recall_f1
+
+DIMS = (20, 80, 320, 1280)
+POINTS = 1600
+RANKS = 4
+
+
+def _shards(mixture_cache, n_dims, seed=0):
+    x, y = mixture_cache(POINTS, n_dims, seed=seed)
+    parts = distributed_partitions(x, y, RANKS, seed=seed)
+    return [p[0] for p in parts], np.concatenate([p[1] for p in parts])
+
+
+@pytest.mark.parametrize("n_dims", DIMS)
+def test_keybin2_fit_time_vs_dims(benchmark, mixture_cache, n_dims):
+    shards, y = _shards(mixture_cache, n_dims)
+
+    def run():
+        return fit_distributed(shards, executor="thread", seed=0)
+
+    result = benchmark(run)
+    prec, rec, f1 = pair_precision_recall_f1(y, result.concatenated_labels())
+    assert result.n_clusters >= 4          # non-parametric, finds ≥ truth
+    assert prec > 0.9                      # extra clusters cost recall, not precision
+    benchmark.extra_info["f1"] = round(f1, 3)
+    benchmark.extra_info["clusters"] = result.n_clusters
+
+
+@pytest.mark.parametrize("n_dims", DIMS)
+def test_parallel_kmeans_time_vs_dims(benchmark, mixture_cache, n_dims):
+    from repro.baselines.parallel_kmeans import ParallelKMeans
+
+    shards, y = _shards(mixture_cache, n_dims)
+
+    def run():
+        return ParallelKMeans(4, seed=0).fit(list(shards))
+
+    pk = benchmark(run)
+    _, _, f1 = pair_precision_recall_f1(y, pk.concatenated_labels())
+    benchmark.extra_info["f1"] = round(f1, 3)
+
+
+def test_keybin2_beats_parallel_kmeans_at_high_dims(mixture_cache):
+    """The Table-1 accuracy ordering at 1280 dimensions, averaged over
+    seeds (parallel-kmeans' first-k seeding is luck-dependent)."""
+    f1_kb, f1_pk = [], []
+    for seed in range(3):
+        shards, y = _shards(mixture_cache, 1280, seed=seed)
+        f1_kb.append(_keybin_metrics(shards, y, seed)["f1"])
+        f1_pk.append(_parallel_kmeans_metrics(shards, y, seed)["f1"])
+    assert np.mean(f1_kb) > np.mean(f1_pk)
+
+
+def test_kmeanspp_dim_limit_enforced(mixture_cache):
+    """Paper: kmeans++ results are unavailable at ≥ 320 dims ('—')."""
+    from repro.bench.experiments_synthetic import run_table1
+    from repro.bench.runner import ExperimentScale
+
+    res = run_table1(
+        dims=(320,), scale=ExperimentScale(points=0.002, repeats=1, max_ranks=2),
+        n_ranks=2, kmeans_dim_limit=160,
+    )
+    assert res.results[320]["kmeans++"] is None

@@ -1,0 +1,81 @@
+"""Table 2 — weak scaling: ranks double, per-rank data stays fixed.
+
+Paper shape being reproduced on 1280-dimensional data:
+
+* KeyBin2's wall time grows sublinearly in the number of ranks (the only
+  shared work is histogram consolidation);
+* parallel-kmeans' time grows faster (full-dimension centroid allreduce
+  every iteration);
+* (PDS)DBSCAN cannot run beyond a modest point count at all, and where it
+  runs its time explodes superlinearly.
+
+Run ``python -m repro table2`` for the full paper-style table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.parallel_kmeans import ParallelKMeans
+from repro.baselines.pdsdbscan import PDSDBSCAN
+from repro.bench.experiments_synthetic import estimate_dbscan_eps
+from repro.core.distributed import fit_distributed
+from repro.data.streams import distributed_partitions
+from repro.errors import ValidationError
+
+N_DIMS = 256           # keeps DBSCAN's brute-force cost tolerable
+POINTS_PER_RANK = 400
+RANK_STEPS = (1, 2, 4)
+
+
+def _shards(mixture_cache, ranks, seed=0):
+    x, y = mixture_cache(POINTS_PER_RANK * ranks, N_DIMS, seed=seed)
+    parts = distributed_partitions(x, y, ranks, seed=seed)
+    return [p[0] for p in parts], np.concatenate([p[1] for p in parts])
+
+
+@pytest.mark.parametrize("ranks", RANK_STEPS)
+def test_keybin2_weak_scaling(benchmark, mixture_cache, ranks):
+    shards, y = _shards(mixture_cache, ranks)
+
+    def run():
+        return fit_distributed(shards, executor="thread", seed=0)
+
+    result = benchmark(run)
+    assert result.n_clusters >= 4
+    benchmark.extra_info["ranks"] = ranks
+    benchmark.extra_info["points"] = POINTS_PER_RANK * ranks
+
+
+@pytest.mark.parametrize("ranks", RANK_STEPS)
+def test_parallel_kmeans_weak_scaling(benchmark, mixture_cache, ranks):
+    shards, _ = _shards(mixture_cache, ranks)
+
+    def run():
+        return ParallelKMeans(4, seed=0).fit(list(shards))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("ranks", (1, 2))
+def test_pdsdbscan_weak_scaling(benchmark, mixture_cache, ranks):
+    """DBSCAN's cost at the small sizes it still handles — already orders
+    of magnitude above the others and growing superlinearly."""
+    shards, _ = _shards(mixture_cache, ranks)
+    eps = estimate_dbscan_eps(np.concatenate(shards), seed=0)
+
+    def run():
+        return PDSDBSCAN(eps=eps, min_points=5).fit(list(shards))
+
+    benchmark(run)
+
+
+def test_dbscan_point_limit_is_real(mixture_cache):
+    """The explicit guard reproducing 'could not handle more than 100,000
+    points' (scaled down)."""
+    from repro.baselines.dbscan import DBSCAN
+
+    x, _ = mixture_cache(1000, 8)
+    with pytest.raises(ValidationError):
+        DBSCAN(eps=1.0, max_points=500).fit(x)

@@ -1,0 +1,35 @@
+"""Table 3 — the 31-trajectory library and its summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments_proteins import run_table3
+from repro.proteins.model_library import library_summary, model_library
+
+
+def test_library_generation(benchmark):
+    specs = benchmark(lambda: model_library())
+    assert len(specs) == 31
+
+
+def test_table3_summary_matches_paper(benchmark):
+    result = benchmark(run_table3)
+    ours = result.ours
+    paper = result.paper
+    # Extremes must match exactly; central moments closely.
+    assert ours["n_residues"]["min"] == paper["n_residues"]["min"]
+    assert ours["n_residues"]["max"] == paper["n_residues"]["max"]
+    assert ours["simulation_time_ps"]["min"] == paper["simulation_time_ps"]["min"]
+    assert ours["simulation_time_ps"]["max"] == paper["simulation_time_ps"]["max"]
+    assert abs(ours["n_residues"]["mean"] - paper["n_residues"]["mean"]) < 30
+    assert (
+        abs(ours["simulation_time_ps"]["mean"] - paper["simulation_time_ps"]["mean"])
+        < 1000
+    )
+
+
+def test_trajectory_simulation_cost(benchmark):
+    spec = model_library(scale=0.05)[2]
+    traj = benchmark(spec.simulate)
+    assert traj.n_frames == spec.n_frames

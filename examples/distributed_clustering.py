@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Distributed clustering: learn from data that never moves.
+
+Each of K sites holds a private shard. Only per-dimension histograms (a
+few KB, non-invertible) travel to the master, which partitions them and
+broadcasts the cuts back — the paper's §3 pipeline. This example runs the
+SPMD program on the process executor (one OS process per site), reports
+accuracy against a single-site fit, and prints the measured traffic so you
+can verify the O(2·K·N_rp·B) communication claim yourself.
+
+The same program runs unmodified under MPI:
+
+    mpiexec -n 8 python examples/distributed_clustering.py --mpi
+
+Run:  python examples/distributed_clustering.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import KeyBin2, fit_distributed
+from repro.data import distributed_partitions, gaussian_mixture
+from repro.metrics import pair_precision_recall_f1
+
+
+def run_local() -> None:
+    n_sites = 4
+    x, y = gaussian_mixture(
+        n_points=20_000, n_dims=256, n_clusters=4, separation=3.5, seed=7
+    )
+
+    # Skewed partitioning: each site sees a biased subset of clusters —
+    # the hard case for any local-only analysis.
+    parts = distributed_partitions(x, y, n_sites, skew=0.8, seed=7)
+    shards = [p[0] for p in parts]
+    y_ordered = np.concatenate([p[1] for p in parts])
+    print(f"{n_sites} sites, shard sizes: {[s.shape[0] for s in shards]}")
+    for i, (_, yi) in enumerate(parts):
+        counts = np.bincount(yi, minlength=4)
+        print(f"  site {i} cluster mix: {counts.tolist()}")
+
+    result = fit_distributed(
+        shards,
+        executor="process",          # true address-space isolation
+        seed=7,
+        consolidation="master",      # or "ring" / "allreduce"
+    )
+    prec, rec, f1 = pair_precision_recall_f1(
+        y_ordered, result.concatenated_labels()
+    )
+    print(f"\ndistributed fit: {result.n_clusters} clusters, "
+          f"precision={prec:.3f} recall={rec:.3f} F1={f1:.3f}")
+
+    # Compare against clustering the pooled data in one place.
+    local = KeyBin2(seed=7).fit(x)
+    _, _, f1_local = pair_precision_recall_f1(y, local.labels_)
+    print(f"single-site fit on pooled data:          F1={f1_local:.3f}")
+
+    print("\nper-site traffic (the only thing that moved):")
+    for rank, t in enumerate(result.traffic):
+        print(f"  site {rank}: sent {t['bytes_sent']:>8,} B in "
+              f"{t['messages_sent']:>3} messages, "
+              f"received {t['bytes_received']:>8,} B")
+    shard_bytes = shards[0].nbytes
+    worker_sent = result.traffic[1]["bytes_sent"]
+    print(f"\nmoving site 1's raw shard would have cost {shard_bytes:,} B — "
+          f"histograms cost {worker_sent:,} B "
+          f"({shard_bytes / max(worker_sent, 1):.0f}× less)")
+
+
+def run_mpi() -> None:  # pragma: no cover - requires mpiexec
+    from repro.comm.mpi import world_communicator
+    from repro.core.distributed import keybin2_spmd
+    from repro.util.rng import seed_sequence_for_rank
+
+    comm = world_communicator()
+    rng = np.random.default_rng(seed_sequence_for_rank(7, comm.rank, comm.size))
+    x, y = gaussian_mixture(n_points=5_000, n_dims=256, n_clusters=4,
+                            separation=3.5, seed=rng)
+    labels, model = keybin2_spmd(comm, x, seed=7)
+    if comm.rank == 0:
+        print(f"[MPI] {comm.size} ranks, {model.n_clusters} clusters")
+
+
+if __name__ == "__main__":
+    if "--mpi" in sys.argv:
+        run_mpi()
+    else:
+        run_local()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Parallel simulations with global in-situ analysis (paper §5.1).
+
+"Simulations can be performed in parallel, with different nodes taking
+care of … different trajectories given particular starting conditions."
+
+Four simulated folding trajectories explore the SAME conformational
+library (shared metastable targets) from different starting conditions,
+each on its own rank. Periodically their histograms are consolidated, so
+each rank's frames are labeled in a single GLOBAL cluster space — a
+conformation discovered by rank 2 is recognized when rank 0 reaches it.
+
+Run:  python examples/parallel_simulations.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.insitu import run_distributed_insitu
+from repro.metrics import normalized_mutual_info
+from repro.proteins import TrajectorySimulator
+
+
+def main() -> None:
+    n_ranks = 4
+    # Shared conformational library: same phase targets, different dynamics.
+    proto = TrajectorySimulator(n_residues=64, n_frames=1500, n_phases=5,
+                                seed=42)
+    targets = proto.simulate().phase_targets
+    trajectories = [
+        TrajectorySimulator(
+            n_residues=64, n_frames=1500, n_phases=5,
+            phase_targets=targets, seed=100 + i,
+        ).simulate(name=f"replica-{i}")
+        for i in range(n_ranks)
+    ]
+
+    results = run_distributed_insitu(
+        trajectories, seed=42, executor="thread", consolidate_every=3,
+    )
+
+    print(f"{n_ranks} parallel simulations, one global model "
+          f"({results[0].n_clusters} fine-grained clusters)\n")
+    print("rank  NMI(phases)  fingerprint changes  bytes sent")
+    for i, res in enumerate(results):
+        print(f"{i:>4}  {res.phase_nmi:>11.3f}  {len(res.fingerprint_changes):>19}"
+              f"  {res.traffic['bytes_sent']:>10,}")
+
+    # Cross-trajectory recognition: pooled phases vs pooled labels is high
+    # only when the phase → cluster mapping is globally consistent.
+    pooled_phases = np.concatenate([t.phase_ids for t in trajectories])
+    pooled_labels = np.concatenate([r.labels for r in results])
+    print(f"\npooled NMI across all replicas: "
+          f"{normalized_mutual_info(pooled_phases, pooled_labels):.3f}")
+
+    # Which clusters did each replica visit? Overlap = shared conformations.
+    visited = [set(np.unique(r.labels[r.labels >= 0]).tolist())
+               for r in results]
+    common = set.intersection(*visited)
+    print(f"clusters visited per replica: {[len(v) for v in visited]}; "
+          f"visited by ALL replicas: {len(common)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Comparator algorithms from the paper's evaluation (§4).
+
+All are implemented from scratch on the same substrates as KeyBin2 so the
+comparison is apples-to-apples:
+
+- :class:`~repro.baselines.kmeans.KMeans` — k-means++ seeding + Lloyd
+  iterations (the paper's "kmeans++" from scikit-learn 0.17.1),
+- :func:`~repro.baselines.parallel_kmeans.parallel_kmeans_spmd` /
+  :class:`~repro.baselines.parallel_kmeans.ParallelKMeans` — Liao-style
+  MPI k-means (per-iteration centroid-sum allreduce),
+- :class:`~repro.baselines.dbscan.DBSCAN` — grid-indexed DBSCAN,
+- :class:`~repro.baselines.pdsdbscan.PDSDBSCAN` — partitioned parallel
+  DBSCAN with disjoint-set merging (Patwary et al.),
+- :class:`~repro.baselines.xmeans.XMeans` — BIC-driven k selection
+  (discussed in the paper's related work as the fix for k-means' fixed k).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.kmeans import KMeans, kmeans_plus_plus_init
+from repro.baselines.parallel_kmeans import ParallelKMeans, parallel_kmeans_spmd
+from repro.baselines.dbscan import DBSCAN
+from repro.baselines.pdsdbscan import PDSDBSCAN, DisjointSet
+from repro.baselines.xmeans import XMeans
+
+__all__ = [
+    "KMeans",
+    "kmeans_plus_plus_init",
+    "ParallelKMeans",
+    "parallel_kmeans_spmd",
+    "DBSCAN",
+    "PDSDBSCAN",
+    "DisjointSet",
+    "XMeans",
+]

@@ -1,0 +1,66 @@
+"""Plain-text table rendering in the paper's style."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["TextTable", "format_mean_ci"]
+
+
+def format_mean_ci(mean: float, half: float, digits: int = 3) -> str:
+    """``mean ± half`` with fixed digits (paper table cell format)."""
+    return f"{mean:.{digits}f} ± {half:.{digits}f}"
+
+
+class TextTable:
+    """Minimal fixed-width table with section headers.
+
+    >>> t = TextTable(["Method", "F1", "Time (s)"])
+    >>> t.section("20 dimensions")
+    >>> t.row(["KeyBin2", "0.877 ± 0.03", "42.1"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        if not columns:
+            raise ValidationError("need at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: List[Any] = []  # str (section) or list[str] (row)
+
+    def section(self, name: str) -> None:
+        self._rows.append(str(name))
+
+    def row(self, values: Sequence[Any]) -> None:
+        vals = [str(v) for v in values]
+        if len(vals) != len(self.columns):
+            raise ValidationError(
+                f"row has {len(vals)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(vals)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for r in self._rows:
+            if isinstance(r, list):
+                for i, cell in enumerate(r):
+                    widths[i] = max(widths[i], len(cell))
+        sep = "  "
+        lines: List[str] = []
+        total = sum(widths) + len(sep) * (len(widths) - 1)
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(total, len(self.title)))
+        lines.append(sep.join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep.join("-" * w for w in widths))
+        for r in self._rows:
+            if isinstance(r, str):
+                lines.append(f"-- {r} --")
+            else:
+                lines.append(sep.join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,135 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1 [--scale 0.02] [--repeats 3] [--ranks 8]
+    python -m repro table2
+    python -m repro table3
+    python -m repro fig1 | fig2 | fig3 | fig4
+    python -m repro ablation-partitioning | ablation-bootstrap | ablation-nrp
+    python -m repro comm-volume
+    python -m repro all            # everything, small scale
+
+``--scale 1.0`` runs paper-sized experiments (hours on a workstation);
+the defaults finish in minutes on a laptop and preserve the shape of
+every conclusion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.runner import ExperimentScale
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate KeyBin2 (ICPP'18) evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "table2", "table3",
+            "fig1", "fig2", "fig3", "fig4",
+            "ablation-partitioning", "ablation-bootstrap", "ablation-nrp",
+            "ablation-smoother", "ablation-simultaneous",
+            "comm-volume", "scaling", "all",
+        ],
+    )
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="fraction of the paper's data sizes (1.0 = full)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="independent runs per design point (paper: 20)")
+    parser.add_argument("--ranks", type=int, default=None,
+                        help="rank count (table1) / max ranks (table2)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_one(name: str, args) -> str:
+    scale = ExperimentScale.from_factor(
+        args.scale, repeats=args.repeats, max_ranks=args.ranks
+    )
+    if name == "table1":
+        from repro.bench.experiments import run_table1
+
+        n_ranks = args.ranks if args.ranks else 8
+        return run_table1(scale=scale, n_ranks=n_ranks, seed=args.seed).render()
+    if name == "table2":
+        from repro.bench.experiments import run_table2
+
+        return run_table2(scale=scale, seed=args.seed).render()
+    if name == "table3":
+        from repro.bench.experiments import run_table3
+
+        return run_table3().render()
+    if name == "fig1":
+        from repro.bench.experiments import run_fig1
+
+        return run_fig1(seed=args.seed or 1).render()
+    if name == "fig2":
+        from repro.bench.experiments import run_fig2
+
+        return run_fig2(seed=args.seed or 5).render()
+    if name == "fig3":
+        from repro.bench.experiments import run_fig3
+
+        return run_fig3(scale=max(args.scale, 0.02)).render()
+    if name == "fig4":
+        from repro.bench.experiments import run_fig4
+
+        return run_fig4(scale=max(args.scale * 10, 0.2)).render()
+    if name == "ablation-partitioning":
+        from repro.bench.experiments import run_ablation_partitioning
+
+        return run_ablation_partitioning(seed=args.seed).render()
+    if name == "ablation-bootstrap":
+        from repro.bench.experiments import run_ablation_bootstrap
+
+        return run_ablation_bootstrap(seed=args.seed).render()
+    if name == "ablation-nrp":
+        from repro.bench.experiments import run_ablation_nrp
+
+        return run_ablation_nrp(seed=args.seed).render()
+    if name == "ablation-smoother":
+        from repro.bench.experiments import run_ablation_smoother
+
+        return run_ablation_smoother(seed=args.seed).render()
+    if name == "ablation-simultaneous":
+        from repro.bench.experiments import run_ablation_simultaneous
+
+        return run_ablation_simultaneous(seed=args.seed).render()
+    if name == "comm-volume":
+        from repro.bench.experiments import run_comm_volume
+
+        return run_comm_volume(seed=args.seed).render()
+    if name == "scaling":
+        from repro.bench.scaling import run_scaling
+
+        return run_scaling(seed=args.seed).render()
+    raise AssertionError(name)  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    names = (
+        ["table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",
+         "ablation-partitioning", "ablation-bootstrap", "ablation-nrp",
+         "ablation-smoother", "ablation-simultaneous", "comm-volume",
+         "scaling"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        print(_run_one(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Abstract communicator and default collective algorithms.
+
+The contract mirrors the subset of MPI that KeyBin2 and the baselines use:
+point-to-point ``send``/``recv`` plus the collectives ``barrier``, ``bcast``,
+``scatter``, ``gather``, ``allgather``, ``reduce``, ``allreduce`` and
+``alltoall``. Default collective implementations are composed from
+point-to-point messages (linear fan-out — adequate for the rank counts the
+paper evaluates, and it keeps traffic accounting exact); backends may
+override any of them with faster native versions (the mpi4py adapter does).
+
+Reductions accept either a :class:`ReduceOp` member or any callable
+``f(a, b) -> c``; numpy arrays reduce elementwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.comm.traffic import TrafficStats, payload_nbytes
+from repro.errors import CommError
+
+__all__ = ["ReduceOp", "Communicator"]
+
+_BARRIER_TAG = -101
+_BCAST_TAG = -102
+_GATHER_TAG = -103
+_SCATTER_TAG = -104
+_ALLTOALL_TAG = -105
+
+
+class ReduceOp(enum.Enum):
+    """Built-in reduction operators (numpy-aware)."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    PROD = "prod"
+
+    def combine(self, a: Any, b: Any) -> Any:
+        if self is ReduceOp.SUM:
+            return np.add(a, b) if isinstance(a, np.ndarray) else a + b
+        if self is ReduceOp.MAX:
+            return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+        if self is ReduceOp.MIN:
+            return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+        if self is ReduceOp.PROD:
+            return np.multiply(a, b) if isinstance(a, np.ndarray) else a * b
+        raise CommError(f"unknown reduce op {self}")  # pragma: no cover
+
+
+OpLike = Union[ReduceOp, Callable[[Any, Any], Any]]
+
+
+def _resolve_op(op: OpLike) -> Callable[[Any, Any], Any]:
+    if isinstance(op, ReduceOp):
+        return op.combine
+    if callable(op):
+        return op
+    raise CommError(f"reduce op must be ReduceOp or callable, got {op!r}")
+
+
+class Communicator(ABC):
+    """A group of ``size`` SPMD ranks with message passing between them.
+
+    Subclasses implement :meth:`_send_impl` and :meth:`_recv_impl`; all
+    collectives have default implementations on top of those. Payloads are
+    arbitrary picklable Python objects; numpy arrays take the fast path in
+    backends that support buffer transfer.
+    """
+
+    def __init__(self, rank: int, size: int):
+        if size < 1:
+            raise CommError(f"communicator size must be >= 1, got {size}")
+        if not (0 <= rank < size):
+            raise CommError(f"rank {rank} out of range for size {size}")
+        self._rank = rank
+        self._size = size
+        self.traffic = TrafficStats()
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's index in ``[0, size)``."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} rank={self.rank} size={self.size}>"
+
+    # -- point to point ----------------------------------------------------
+
+    @abstractmethod
+    def _send_impl(self, obj: Any, dest: int, tag: int) -> None:
+        """Deliver ``obj`` to ``dest``; must not block indefinitely on buffered sends."""
+
+    @abstractmethod
+    def _recv_impl(self, source: int, tag: int) -> Any:
+        """Block until a message with ``tag`` from ``source`` arrives; return it."""
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest``."""
+        self._check_peer(dest)
+        self.traffic.record_send(dest, payload_nbytes(obj))
+        self._send_impl(obj, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive one message from rank ``source``."""
+        self._check_peer(source)
+        obj = self._recv_impl(source, tag)
+        self.traffic.record_recv(source, payload_nbytes(obj))
+        return obj
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Exchange: send ``obj`` to ``dest`` and receive from ``source``.
+
+        Safe against deadlock as long as the backend buffers sends (both
+        built-in executors do; MPI adapters use ``Sendrecv`` semantics).
+        """
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self._size):
+            raise CommError(f"peer rank {peer} out of range for size {self._size}")
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        # Linear gather-to-0 then broadcast; exact and simple.
+        if self._size == 1:
+            return
+        if self._rank == 0:
+            for src in range(1, self._size):
+                self.recv(src, _BARRIER_TAG)
+            for dst in range(1, self._size):
+                self.send(None, dst, _BARRIER_TAG)
+        else:
+            self.send(None, 0, _BARRIER_TAG)
+            self.recv(0, _BARRIER_TAG)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank; returns the object."""
+        self._check_peer(root)
+        if self._size == 1:
+            return obj
+        if self._rank == root:
+            for dst in range(self._size):
+                if dst != root:
+                    self.send(obj, dst, _BCAST_TAG)
+            return obj
+        return self.recv(root, _BCAST_TAG)
+
+    def scatter(self, objs: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        """Scatter one element of ``objs`` (length ``size``, root only) to each rank."""
+        self._check_peer(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self._size:
+                raise CommError(
+                    f"scatter at root needs a sequence of length {self._size}"
+                )
+            for dst in range(self._size):
+                if dst != root:
+                    self.send(objs[dst], dst, _SCATTER_TAG)
+            return objs[root]
+        return self.recv(root, _SCATTER_TAG)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root``; others get ``None``."""
+        self._check_peer(root)
+        if self._rank == root:
+            out: List[Any] = [None] * self._size
+            out[root] = obj
+            for src in range(self._size):
+                if src != root:
+                    out[src] = self.recv(src, _GATHER_TAG)
+            return out
+        self.send(obj, root, _GATHER_TAG)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank, result visible at every rank."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: OpLike = ReduceOp.SUM, root: int = 0) -> Any:
+        """Reduce per-rank values to ``root`` (others get ``None``).
+
+        The fold is performed in rank order so non-commutative callables are
+        deterministic.
+        """
+        fn = _resolve_op(op)
+        gathered = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = fn(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: OpLike = ReduceOp.SUM) -> Any:
+        """Reduce per-rank values, result visible at every rank."""
+        reduced = self.reduce(obj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalized exchange: rank i sends ``objs[j]`` to rank j.
+
+        Returns the list where element j is what rank j sent to this rank.
+        """
+        if len(objs) != self._size:
+            raise CommError(f"alltoall needs exactly {self._size} payloads")
+        out: List[Any] = [None] * self._size
+        out[self._rank] = objs[self._rank]
+        # Round-based pairwise exchange avoids head-of-line blocking.
+        for shift in range(1, self._size):
+            dest = (self._rank + shift) % self._size
+            source = (self._rank - shift) % self._size
+            self.send(objs[dest], dest, _ALLTOALL_TAG)
+            out[source] = self.recv(source, _ALLTOALL_TAG)
+        return out
+
+    # -- convenience --------------------------------------------------------
+
+    def split_range(self, total: int) -> tuple[int, int]:
+        """This rank's contiguous ``(start, stop)`` share of ``range(total)``."""
+        from repro.util.chunking import chunk_slices
+
+        return chunk_slices(total, self._size)[self._rank]

@@ -1,0 +1,112 @@
+"""Mailbox-based communicator core shared by the thread and process executors.
+
+Each rank owns a single inbound queue. A message is the triple
+``(source, tag, payload)``. ``recv(source, tag)`` drains the queue into a
+local out-of-order store until a matching message appears, so messages from
+different peers or with different tags can interleave arbitrarily without
+deadlock — the semantics MPI programs expect.
+
+Sends are *buffered*: ``put`` on both :class:`queue.SimpleQueue` and
+:class:`multiprocessing.queues.Queue` returns without waiting for a matching
+receive, which is what makes the default collectives in
+:class:`~repro.comm.base.Communicator` deadlock-free.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.comm.base import Communicator
+from repro.errors import CommError, RankFailedError
+
+__all__ = ["MailboxComm"]
+
+#: Sentinel tag announcing that a peer rank died before completing the program.
+FAILURE_TAG = -999
+
+
+class MailboxComm(Communicator):
+    """Communicator whose backend is one inbound queue per rank.
+
+    Parameters
+    ----------
+    rank, size:
+        SPMD identity.
+    inboxes:
+        Sequence of ``size`` queue-like objects (``put``/``get`` API).
+        ``inboxes[r]`` is the inbound queue of rank ``r``. All ranks share
+        the same sequence.
+    timeout:
+        Seconds to wait in ``recv`` before declaring the peer lost. ``None``
+        waits forever.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        inboxes: Sequence[Any],
+        timeout: Optional[float] = None,
+    ):
+        super().__init__(rank, size)
+        if len(inboxes) != size:
+            raise CommError(f"need {size} inboxes, got {len(inboxes)}")
+        self._inboxes = inboxes
+        self._timeout = timeout
+        self._pending: Dict[Tuple[int, int], deque] = {}
+
+    def _send_impl(self, obj: Any, dest: int, tag: int) -> None:
+        self._inboxes[dest].put((self._rank, tag, obj))
+
+    def _recv_impl(self, source: int, tag: int) -> Any:
+        key = (source, tag)
+        box = self._pending.get(key)
+        if box:
+            return box.popleft()
+        deadline = None if self._timeout is None else time.monotonic() + self._timeout
+        while True:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommError(
+                        f"rank {self._rank}: timed out waiting for message "
+                        f"from rank {source} (tag {tag})"
+                    )
+            try:
+                src, msg_tag, payload = self._get(remaining)
+            except TimeoutError:
+                raise CommError(
+                    f"rank {self._rank}: timed out waiting for message "
+                    f"from rank {source} (tag {tag})"
+                ) from None
+            if msg_tag == FAILURE_TAG:
+                raise RankFailedError(
+                    f"rank {src} failed while rank {self._rank} was waiting "
+                    f"for a message: {payload}",
+                    rank=src,
+                )
+            if src == source and msg_tag == tag:
+                return payload
+            self._pending.setdefault((src, msg_tag), deque()).append(payload)
+
+    def _get(self, timeout: Optional[float]) -> Tuple[int, int, Any]:
+        queue = self._inboxes[self._rank]
+        if timeout is None:
+            return queue.get()
+        try:
+            return queue.get(timeout=timeout)
+        except Exception as exc:  # queue.Empty / mp queue Empty
+            raise TimeoutError from exc
+
+    def announce_failure(self, message: str) -> None:
+        """Best-effort notification to all peers that this rank is dying."""
+        for dest in range(self._size):
+            if dest == self._rank:
+                continue
+            try:
+                self._inboxes[dest].put((self._rank, FAILURE_TAG, message))
+            except Exception:  # pragma: no cover - queue already torn down
+                pass

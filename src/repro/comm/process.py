@@ -1,0 +1,121 @@
+"""Process-backed SPMD executor.
+
+Gives each rank a real OS process (its own address space and GIL), which is
+the honest analogue of the paper's MPI deployment on a single node. Ranks
+communicate through :class:`multiprocessing.Queue` mailboxes; payloads are
+pickled, and numpy arrays ride through pickle's buffer protocol.
+
+The SPMD function and its arguments must be picklable (i.e. defined at
+module top level) — the same constraint ``mpiexec`` imposes by construction.
+
+Failure handling: a rank that raises sends a failure sentinel to every peer
+(so blocked receives abort instead of hanging) and reports the traceback to
+the parent, which raises :class:`~repro.errors.RankFailedError`. A rank that
+dies without reporting (e.g. ``os._exit``/segfault) is detected by process
+exit code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.comm.mailbox import MailboxComm
+from repro.errors import CommError, RankFailedError
+
+__all__ = ["run_spmd_processes"]
+
+
+def _worker_main(
+    rank: int,
+    size: int,
+    inboxes: Sequence[Any],
+    result_queue: Any,
+    fn: Callable[..., Any],
+    args: Sequence[Any],
+    timeout: Optional[float],
+) -> None:
+    comm = MailboxComm(rank, size, inboxes, timeout=timeout)
+    try:
+        value = fn(comm, *args)
+    except BaseException as exc:  # noqa: BLE001
+        comm.announce_failure(f"{type(exc).__name__}: {exc}")
+        result_queue.put(("error", rank, f"{type(exc).__name__}: {exc}",
+                          traceback.format_exc()))
+        return
+    result_queue.put(("ok", rank, value, comm.traffic.snapshot()))
+
+
+def run_spmd_processes(
+    fn: Callable[..., Any],
+    size: int,
+    args: Sequence[Any] = (),
+    timeout: Optional[float] = 300.0,
+    start_method: str = "fork",
+) -> List[Any]:
+    """Execute ``fn(comm, *args)`` on ``size`` process ranks.
+
+    Returns per-rank return values in rank order. Return values must be
+    picklable.
+    """
+    ctx = mp.get_context(start_method)
+    inboxes = [ctx.Queue() for _ in range(size)]
+    result_queue = ctx.Queue()
+
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(rank, size, inboxes, result_queue, fn, args, timeout),
+            name=f"spmd-rank-{rank}",
+        )
+        for rank in range(size)
+    ]
+    for p in procs:
+        p.start()
+
+    results: List[Any] = [None] * size
+    errors: List[tuple[int, str, str]] = []
+    received = 0
+    try:
+        while received < size:
+            try:
+                kind, rank, payload, extra = result_queue.get(timeout=timeout)
+            except Exception as exc:
+                # A rank died without reporting — find it by exit code.
+                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    bad = dead[0]
+                    raise RankFailedError(
+                        f"SPMD process {bad.name} exited with code {bad.exitcode} "
+                        "without reporting a result",
+                        rank=int(bad.name.rsplit("-", 1)[-1]),
+                    ) from exc
+                raise CommError(
+                    f"timed out after {timeout}s waiting for SPMD results"
+                ) from exc
+            received += 1
+            if kind == "ok":
+                results[rank] = payload
+            else:
+                errors.append((rank, payload, extra))
+    finally:
+        for p in procs:
+            p.join(timeout=10)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - stuck rank
+                p.terminate()
+                p.join()
+        for q in inboxes:
+            q.close()
+            q.cancel_join_thread()
+        result_queue.close()
+        result_queue.cancel_join_thread()
+
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        # Prefer the root-cause failure over cascaded RankFailedError reports.
+        originals = [e for e in errors if not e[1].startswith("RankFailedError")]
+        rank, message, tb = (originals or errors)[0]
+        raise RankFailedError(f"SPMD rank {rank} raised {message}\n{tb}", rank=rank)
+    return results

@@ -1,0 +1,36 @@
+"""Size-1 communicator.
+
+Lets every SPMD program double as a plain sequential program — the estimator
+API in :mod:`repro.core` defaults to this, so single-machine users never see
+the comm layer at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Tuple
+
+from repro.comm.base import Communicator
+from repro.errors import CommError
+
+__all__ = ["SerialComm"]
+
+
+class SerialComm(Communicator):
+    """The trivial communicator: one rank, self-sends are buffered locally."""
+
+    def __init__(self) -> None:
+        super().__init__(rank=0, size=1)
+        self._inbox: Dict[Tuple[int, int], deque] = {}
+
+    def _send_impl(self, obj: Any, dest: int, tag: int) -> None:
+        self._inbox.setdefault((dest, tag), deque()).append(obj)
+
+    def _recv_impl(self, source: int, tag: int) -> Any:
+        box = self._inbox.get((source, tag))
+        if not box:
+            raise CommError(
+                "SerialComm.recv would deadlock: no buffered message from "
+                f"rank {source} with tag {tag}"
+            )
+        return box.popleft()

@@ -1,0 +1,86 @@
+"""Front-end for running SPMD programs on any available executor.
+
+An SPMD program is a callable ``fn(comm, *args)`` written against the
+:class:`~repro.comm.base.Communicator` API. :func:`run_spmd` launches
+``size`` ranks of it and returns their results in rank order::
+
+    def program(comm):
+        local = comm.rank + 1
+        return comm.allreduce(local)
+
+    totals = run_spmd(program, size=4)      # [10, 10, 10, 10]
+
+Executors
+---------
+``"serial"``   only valid for ``size == 1``; zero overhead.
+``"thread"``   default; one thread per rank, shared address space.
+``"process"``  one OS process per rank; requires picklable ``fn``/``args``.
+``"mpi"``      run under ``mpiexec`` with mpi4py installed; ``run_spmd`` is
+               not used there — the program calls
+               :func:`repro.comm.mpi.world_communicator` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import CommError
+
+__all__ = ["run_spmd", "spmd_available_executors"]
+
+
+def spmd_available_executors() -> List[str]:
+    """Executor names usable in this interpreter."""
+    names = ["serial", "thread", "process"]
+    try:  # pragma: no cover - depends on environment
+        import mpi4py  # noqa: F401
+
+        names.append("mpi")
+    except ImportError:
+        pass
+    return names
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    size: int,
+    *,
+    executor: str = "thread",
+    args: Sequence[Any] = (),
+    timeout: Optional[float] = 120.0,
+) -> List[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD program. First positional parameter receives the rank's
+        :class:`~repro.comm.base.Communicator`.
+    size:
+        Number of ranks.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    args:
+        Extra positional arguments passed to every rank.
+    timeout:
+        Per-receive timeout in seconds (deadlock detector). ``None`` disables.
+    """
+    if size < 1:
+        raise CommError(f"size must be >= 1, got {size}")
+    if executor == "serial":
+        if size != 1:
+            raise CommError("serial executor only supports size == 1")
+        from repro.comm.serial import SerialComm
+
+        return [fn(SerialComm(), *args)]
+    if executor == "thread":
+        from repro.comm.threaded import run_spmd_threads
+
+        return run_spmd_threads(fn, size, args=args, timeout=timeout)
+    if executor == "process":
+        from repro.comm.process import run_spmd_processes
+
+        return run_spmd_processes(fn, size, args=args, timeout=timeout)
+    raise CommError(
+        f"unknown executor {executor!r}; available: {spmd_available_executors()}"
+    )

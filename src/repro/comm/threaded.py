@@ -1,0 +1,72 @@
+"""Thread-backed SPMD executor.
+
+Runs ``size`` copies of an SPMD function, one per thread, each with its own
+:class:`~repro.comm.mailbox.MailboxComm`. NumPy releases the GIL inside its
+kernels, so compute overlaps reasonably; more importantly this executor is
+cheap to spin up, which makes it the default for tests and for the
+single-node benchmarks.
+
+Exceptions raised by any rank are captured, broadcast as failure sentinels
+so blocked peers wake up, and re-raised in the caller as
+:class:`~repro.errors.RankFailedError` (with the original as ``__cause__``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.comm.mailbox import MailboxComm
+from repro.errors import RankFailedError
+
+__all__ = ["run_spmd_threads"]
+
+
+def run_spmd_threads(
+    fn: Callable[..., Any],
+    size: int,
+    args: Sequence[Any] = (),
+    timeout: Optional[float] = 120.0,
+) -> List[Any]:
+    """Execute ``fn(comm, *args)`` on ``size`` thread ranks.
+
+    Returns the per-rank return values in rank order.
+    """
+    inboxes = [queue.SimpleQueue() for _ in range(size)]
+    results: List[Any] = [None] * size
+    failures: List[tuple[int, BaseException, str]] = []
+    lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = MailboxComm(rank, size, inboxes, timeout=timeout)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - must not kill the pool silently
+            with lock:
+                failures.append((rank, exc, traceback.format_exc()))
+            comm.announce_failure(f"{type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        rank, exc, tb = failures[0]
+        if isinstance(exc, RankFailedError):
+            # A secondary failure caused by another rank dying; prefer the
+            # original failure if we captured it.
+            originals = [f for f in failures if not isinstance(f[1], RankFailedError)]
+            if originals:
+                rank, exc, tb = originals[0]
+        raise RankFailedError(
+            f"SPMD rank {rank} raised {type(exc).__name__}: {exc}\n{tb}", rank=rank
+        ) from exc
+    return results

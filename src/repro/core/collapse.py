@@ -1,0 +1,105 @@
+"""Dimension collapsing via Kolmogorov–Smirnov statistics (paper §3.1).
+
+After histograms are consolidated, "statistically anomalous dimensions are
+identified with the Kolmogorov–Smirnov test and collapsed." A projected
+dimension earns its keep only if its marginal density carries cluster
+structure; two failure modes are collapsed:
+
+* **noise-like** — the density is statistically indistinguishable from
+  uniform over its occupied range (KS statistic below a threshold). Cutting
+  such a dimension manufactures clusters out of sampling noise.
+* **degenerate** — essentially all mass sits in a couple of bins (a nearly
+  constant direction). No ordering information survives binning there.
+
+Both tests run on the histogram only — O(B) per dimension, independent of
+the number of points, as required for in-situ use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["uniformity_statistic", "effective_support", "collapse_dimensions"]
+
+
+def uniformity_statistic(counts: np.ndarray) -> float:
+    """KS distance between a histogram's ECDF and the uniform CDF.
+
+    Computed over the occupied range (first to last non-empty bin), so a
+    cluster sitting in a corner of a wide binning window is not mistaken
+    for structure. Returns 0.0 for empty or single-bin support (perfectly
+    "uniform": nothing to cut).
+    """
+    counts = np.asarray(counts, dtype=np.float64).ravel()
+    if counts.size == 0:
+        raise ValidationError("counts must be non-empty")
+    if np.any(counts < 0):
+        raise ValidationError("counts must be non-negative")
+    occupied = np.flatnonzero(counts > 0)
+    if occupied.size == 0:
+        return 0.0
+    lo, hi = occupied[0], occupied[-1]
+    support = counts[lo : hi + 1]
+    total = support.sum()
+    if support.size <= 1 or total == 0:
+        return 0.0
+    ecdf = np.cumsum(support) / total
+    # Uniform CDF evaluated at the right edge of each bin.
+    uniform = np.arange(1, support.size + 1) / support.size
+    return float(np.max(np.abs(ecdf - uniform)))
+
+
+def effective_support(counts: np.ndarray) -> int:
+    """Number of bins needed to hold 99% of the mass (degeneracy check)."""
+    counts = np.asarray(counts, dtype=np.float64).ravel()
+    total = counts.sum()
+    if total == 0:
+        return 0
+    sorted_desc = np.sort(counts)[::-1]
+    cum = np.cumsum(sorted_desc)
+    return int(np.searchsorted(cum, 0.99 * total) + 1)
+
+
+def collapse_dimensions(
+    counts: np.ndarray,
+    uniform_threshold: float = 0.05,
+    min_support_bins: int = 3,
+) -> np.ndarray:
+    """Decide which projected dimensions to keep.
+
+    Parameters
+    ----------
+    counts:
+        (n_dims × B) consolidated histogram at the working depth.
+    uniform_threshold:
+        Dimensions whose KS-vs-uniform statistic is below this are
+        collapsed as noise-like. The classic large-sample KS critical value
+        at α=0.05 is ``1.36/sqrt(M)``; a fixed small threshold is used
+        instead because histogram bins correlate neighbouring samples.
+    min_support_bins:
+        Dimensions whose 99%-mass support covers fewer bins are collapsed
+        as degenerate.
+
+    Returns
+    -------
+    Boolean keep-mask of length n_dims. If every dimension would collapse,
+    the single most structured dimension (largest KS statistic) is kept so
+    downstream steps always have a space to work in.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValidationError("expected an (n_dims × B) histogram table")
+    if not (0.0 <= uniform_threshold <= 1.0):
+        raise ValidationError("uniform_threshold must be in [0, 1]")
+    n_dims = counts.shape[0]
+    stats = np.array([uniformity_statistic(counts[j]) for j in range(n_dims)])
+    support = np.array([effective_support(counts[j]) for j in range(n_dims)])
+    keep = (stats >= uniform_threshold) & (support >= min_support_bins)
+    if not keep.any():
+        keep = np.zeros(n_dims, dtype=bool)
+        keep[int(np.argmax(stats))] = True
+    return keep

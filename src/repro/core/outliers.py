@@ -1,0 +1,91 @@
+"""Key-space anomaly detection.
+
+The paper's introduction motivates KeyBin-style analysis for "clustering,
+pattern recognition, and anomaly detection, all considering and
+constraining data movement". The fitted model already contains everything
+an occupancy-based detector needs: the occupied-cell table with per-cell
+densities. A point is anomalous when its key maps to a cell that is empty
+or nearly empty relative to the training mass — no distances, no extra
+passes over the data, and scoring works anywhere the (tiny) model has been
+broadcast.
+
+Scores are ``-log10`` relative cell frequencies, so they grow with rarity;
+points in cells never seen during fit get the maximum score.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import KeyBin2Model
+from repro.errors import NotFittedError, ValidationError
+
+__all__ = ["KeyOutlierDetector"]
+
+
+class KeyOutlierDetector:
+    """Occupancy-based outlier scoring on a fitted KeyBin2 model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.model.KeyBin2Model` whose table
+        carries cell sizes (models fitted by this library always do).
+    contamination:
+        Expected outlier fraction; sets the decision threshold at the
+        corresponding quantile of the *training* score distribution.
+
+    Examples
+    --------
+    >>> from repro import KeyBin2
+    >>> from repro.core.outliers import KeyOutlierDetector
+    >>> kb = KeyBin2(seed=0).fit(X)                     # doctest: +SKIP
+    >>> det = KeyOutlierDetector(kb.model_)             # doctest: +SKIP
+    >>> mask = det.predict(X_new)                       # doctest: +SKIP
+    """
+
+    def __init__(self, model: KeyBin2Model, contamination: float = 0.01):
+        if model.table.sizes is None:
+            raise ValidationError(
+                "model's cluster table has no cell sizes; refit with this "
+                "library's estimators"
+            )
+        if not (0.0 < contamination < 0.5):
+            raise ValidationError("contamination must be in (0, 0.5)")
+        self.model = model
+        self.contamination = float(contamination)
+        total = float(model.table.sizes.sum())
+        if total <= 0:
+            raise ValidationError("model was fitted on no points")
+        # Score per known cell: -log10 relative frequency.
+        self._cell_scores = -np.log10(model.table.sizes / total)
+        #: Score assigned to never-seen cells — strictly above any known cell.
+        self.unseen_score = float(self._cell_scores.max() + 1.0)
+        # Threshold from the training occupancy distribution: expand cell
+        # scores by their sizes to get the per-training-point distribution.
+        per_point = np.repeat(self._cell_scores, model.table.sizes)
+        self.threshold_ = float(
+            np.quantile(per_point, 1.0 - self.contamination)
+        )
+
+    def score(self, x: np.ndarray) -> np.ndarray:
+        """Anomaly score per point (higher = rarer)."""
+        codes = self.model.cell_codes_for(x)
+        labels = self.model.table.lookup(codes)
+        out = np.full(labels.shape, self.unseen_score, dtype=np.float64)
+        known = labels >= 0
+        out[known] = self._cell_scores[labels[known]]
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean outlier mask at the fitted threshold."""
+        return self.score(x) > self.threshold_
+
+    def score_threshold(self, quantile: float) -> float:
+        """Score value at a given training quantile (for custom policies)."""
+        if not (0.0 < quantile < 1.0):
+            raise ValidationError("quantile must be in (0, 1)")
+        per_point = np.repeat(self._cell_scores, self.model.table.sizes)
+        return float(np.quantile(per_point, quantile))

@@ -1,0 +1,213 @@
+"""Histogram partitioning via discrete optimization (paper §3.2).
+
+This replaces KeyBin1's density-threshold heuristic. Per dimension:
+
+1. smooth the merged histogram (moving average, window
+   ``w = |log2(M)|``),
+2. take the local-regression first derivative; sign changes −→+ mark
+   valleys (candidate cuts) and +→− mark modes,
+3. the second derivative confirms genuine inflection structure around a
+   valley (a flat plateau produces no inflection pair and is rejected),
+4. score each candidate valley by its *prominence* — how far the density
+   drops below the smaller of its neighbouring modes — and keep cuts whose
+   prominence clears a relative threshold. This is the discrete
+   optimization: prominent valleys are exactly the cut set that maximizes
+   between-partition mass separation while minimizing within-partition
+   spread for a fixed number of cuts, and the bootstrap layer (§3.3)
+   compares different cut cardinalities through the CH index.
+
+Runs of empty bins between occupied regions are always cuts: disconnected
+support can never belong to one cluster in the key space.
+
+A cut at position ``c`` separates bins ``<= c`` from bins ``> c``, matching
+``searchsorted(cuts, bin, side="left")`` downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.smoothing import local_slopes, moving_average, paper_window
+from repro.errors import ValidationError
+
+__all__ = ["CutDiagnostics", "find_cuts", "kde_density"]
+
+
+@dataclass
+class CutDiagnostics:
+    """Intermediate artifacts of the cut search (for tests, plots, docs)."""
+
+    smoothed: np.ndarray
+    slopes: np.ndarray
+    candidate_valleys: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    prominences: np.ndarray = field(default_factory=lambda: np.empty(0))
+    modes: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    gap_cuts: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+
+def _sign_changes(slopes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Indices where the slope crosses −→+ (valleys) and +→− (modes)."""
+    sign = np.sign(slopes)
+    # Treat exact zeros as continuing the previous sign so plateaus do not
+    # spray spurious crossings.
+    for i in range(1, sign.size):
+        if sign[i] == 0:
+            sign[i] = sign[i - 1]
+    change = np.flatnonzero(sign[1:] != sign[:-1]) + 1
+    valleys = change[sign[change] > 0]
+    modes = change[sign[change] < 0]
+    return valleys.astype(np.int64), modes.astype(np.int64)
+
+
+def _prominence(
+    smoothed: np.ndarray, valley: int, modes: np.ndarray
+) -> float:
+    """Depth of a valley below the smaller of its flanking peaks."""
+    left_modes = modes[modes < valley]
+    right_modes = modes[modes > valley]
+    left_peak = smoothed[left_modes[-1]] if left_modes.size else smoothed[:valley + 1].max()
+    right_peak = smoothed[right_modes[0]] if right_modes.size else smoothed[valley:].max()
+    return float(min(left_peak, right_peak) - smoothed[valley])
+
+
+def _gap_cuts(counts: np.ndarray, min_gap: int) -> np.ndarray:
+    """Cut inside every run of >= min_gap empty bins separating support."""
+    occupied = np.flatnonzero(counts > 0)
+    if occupied.size < 2:
+        return np.empty(0, dtype=np.int64)
+    gaps = np.diff(occupied)
+    big = np.flatnonzero(gaps > min_gap)
+    # Cut at the middle of the empty run.
+    return (occupied[big] + gaps[big] // 2).astype(np.int64)
+
+
+def kde_density(counts: np.ndarray, bandwidth: Optional[float] = None) -> np.ndarray:
+    """Gaussian-KDE smoothed density evaluated at every bin centre.
+
+    The alternative smoother §3.2 compares against: treat bin centres as a
+    weighted sample and evaluate a Gaussian kernel density estimate back on
+    the bin grid. Bandwidth defaults to Scott's rule on the weighted
+    sample. Returns a curve scaled to the histogram's total mass so it is
+    directly comparable to the moving-average smoother.
+    """
+    counts = np.asarray(counts, dtype=np.float64).ravel()
+    total = counts.sum()
+    if counts.size < 2 or total <= 0:
+        return counts.copy()
+    centers = np.arange(counts.size, dtype=np.float64)
+    mean = float(np.sum(centers * counts) / total)
+    var = float(np.sum((centers - mean) ** 2 * counts) / total)
+    if bandwidth is None:
+        sigma = np.sqrt(max(var, 1e-12))
+        # Silverman's rule with the robust scale (min of sigma and IQR/1.34)
+        # and the effective sample size of the weights; the robust scale
+        # keeps multimodal histograms from inflating the bandwidth.
+        cdf = np.cumsum(counts) / total
+        q1 = float(np.searchsorted(cdf, 0.25))
+        q3 = float(np.searchsorted(cdf, 0.75))
+        robust = min(sigma, max((q3 - q1) / 1.34, 1e-6))
+        neff = total ** 2 / max(np.sum(counts**2), 1.0)
+        bandwidth = max(0.9 * robust * neff ** (-1.0 / 5.0), 0.5)
+    # O(B²) kernel evaluation — B is O(log²M), so this stays tiny, but it
+    # is still measurably slower than the O(B·w) moving average (the
+    # paper's argument for the simpler smoother).
+    diff = centers[:, None] - centers[None, :]
+    kernel = np.exp(-0.5 * (diff / bandwidth) ** 2)
+    density = kernel @ counts
+    density *= total / max(density.sum(), 1e-300)
+    return density
+
+
+def find_cuts(
+    counts: np.ndarray,
+    n_points: Optional[int] = None,
+    window: Optional[int] = None,
+    min_prominence: float = 0.10,
+    min_gap: Optional[int] = None,
+    smoother: str = "ma",
+    return_diagnostics: bool = False,
+):
+    """Find partition cuts in a single dimension's merged histogram.
+
+    Parameters
+    ----------
+    counts:
+        1-D bin counts for one dimension.
+    n_points:
+        Total points behind the histogram; sets the paper window when
+        ``window`` is not given. Defaults to ``counts.sum()``.
+    window:
+        Smoothing / regression window override.
+    min_prominence:
+        Relative prominence threshold: a valley survives when its depth
+        below the smaller flanking mode exceeds
+        ``min_prominence · max(smoothed)``.
+    min_gap:
+        Empty-bin run length that forces a cut regardless of prominence.
+        Defaults to the smoothing window (shorter runs are smoothing
+        artifacts).
+    smoother:
+        ``"ma"`` — the paper's moving-average + local regression (default);
+        ``"kde"`` — Gaussian kernel density estimation (the alternative
+        §3.2 benchmarks against; similar cuts, higher cost).
+    return_diagnostics:
+        Also return a :class:`CutDiagnostics`.
+
+    Returns
+    -------
+    Sorted int64 array of cut positions (possibly empty → one cluster),
+    optionally with diagnostics.
+    """
+    counts = np.asarray(counts, dtype=np.float64).ravel()
+    if counts.size < 1:
+        raise ValidationError("counts must be non-empty")
+    if np.any(counts < 0):
+        raise ValidationError("counts must be non-negative")
+    if not (0.0 <= min_prominence <= 1.0):
+        raise ValidationError(f"min_prominence must be in [0, 1], got {min_prominence}")
+    if smoother not in ("ma", "kde"):
+        raise ValidationError(f"smoother must be 'ma' or 'kde', got {smoother!r}")
+    total = counts.sum()
+    if n_points is None:
+        n_points = int(max(total, 1))
+    if window is None:
+        window = paper_window(n_points, n_bins=counts.size)
+
+    if smoother == "kde":
+        smoothed = kde_density(counts)
+    else:
+        smoothed = moving_average(counts, window)
+    slopes = local_slopes(smoothed, window)
+    diag = CutDiagnostics(smoothed=smoothed, slopes=slopes)
+
+    cuts: List[int] = []
+    if total > 0 and counts.size >= 3:
+        valleys, modes = _sign_changes(slopes)
+        diag.candidate_valleys = valleys
+        diag.modes = modes
+        peak = smoothed.max()
+        if peak > 0 and valleys.size:
+            proms = np.array([_prominence(smoothed, int(v), modes) for v in valleys])
+            diag.prominences = proms
+            keep = proms >= min_prominence * peak
+            cuts.extend(int(v) for v in valleys[keep])
+        gap = window if min_gap is None else min_gap
+        gcuts = _gap_cuts(counts, int(gap))
+        diag.gap_cuts = gcuts
+        cuts.extend(int(g) for g in gcuts)
+
+    # Deduplicate nearby cuts: two cuts closer than the window describe the
+    # same valley once smoothing noise is accounted for.
+    unique_sorted = sorted(set(cuts))
+    deduped: List[int] = []
+    for c in unique_sorted:
+        if not deduped or c - deduped[-1] >= max(1, window):
+            deduped.append(c)
+    # A cut at/after the last bin separates nothing.
+    result = np.array([c for c in deduped if 0 <= c < counts.size - 1], dtype=np.int64)
+    if return_diagnostics:
+        return result, diag
+    return result

@@ -1,0 +1,158 @@
+"""Primary clusters and the global cluster table (paper §3, step 5).
+
+A *primary cluster* is a maximal run of bins between two cuts along one
+dimension — a partial, single-dimension clustering. The cross product of
+primary clusters forms the interval grid; the *occupied* cells of that grid
+are the global clusters. Points map to cells through their keys alone, so
+assignment is embarrassingly parallel and the cell table (a few integers
+per cluster) is all that ranks must share to label consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.labels import intervals_for_bins
+
+__all__ = ["PrimaryPartition", "GlobalClusterTable"]
+
+
+@dataclass(frozen=True)
+class PrimaryPartition:
+    """Per-dimension cut sets at a fixed depth.
+
+    Attributes
+    ----------
+    depth:
+        Bin-tree depth the cuts refer to (bins are in ``[0, 2^depth)``).
+    cuts:
+        One sorted int64 array per kept dimension.
+    """
+
+    depth: int
+    cuts: tuple
+
+    def __init__(self, depth: int, cuts: Sequence[np.ndarray]):
+        if depth < 1:
+            raise ValidationError(f"depth must be >= 1, got {depth}")
+        n_bins = 1 << depth
+        clean: List[np.ndarray] = []
+        for j, c in enumerate(cuts):
+            arr = np.asarray(c, dtype=np.int64).ravel()
+            if arr.size and (arr.min() < 0 or arr.max() >= n_bins - 1):
+                raise ValidationError(
+                    f"dimension {j}: cuts must lie in [0, {n_bins - 2}]"
+                )
+            if arr.size and np.any(np.diff(arr) <= 0):
+                raise ValidationError(f"dimension {j}: cuts must be strictly increasing")
+            clean.append(arr)
+        object.__setattr__(self, "depth", int(depth))
+        object.__setattr__(self, "cuts", tuple(clean))
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.cuts)
+
+    @property
+    def n_intervals(self) -> np.ndarray:
+        """Primary-cluster count per dimension."""
+        return np.array([c.size + 1 for c in self.cuts], dtype=np.int64)
+
+    @property
+    def n_cells(self) -> int:
+        """Size of the full interval grid (occupied or not)."""
+        return int(np.prod(self.n_intervals))
+
+    def intervals_for(self, bins: np.ndarray) -> np.ndarray:
+        """Map (M × n_dims) bin indices to per-dimension interval ids."""
+        bins = np.asarray(bins)
+        if bins.ndim != 2 or bins.shape[1] != self.n_dims:
+            raise ValidationError(
+                f"expected (M × {self.n_dims}) bins, got {bins.shape}"
+            )
+        return intervals_for_bins(bins, self.cuts)
+
+    def cell_codes(self, intervals: np.ndarray) -> np.ndarray:
+        """Mixed-radix code of each point's grid cell."""
+        radices = self.n_intervals
+        code = np.zeros(intervals.shape[0], dtype=np.int64)
+        for j in range(self.n_dims):
+            code *= radices[j]
+            code += intervals[:, j].astype(np.int64)
+        return code
+
+    def decode_cells(self, codes: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`cell_codes`: (|codes| × n_dims) interval ids."""
+        radices = self.n_intervals
+        codes = np.asarray(codes, dtype=np.int64).copy()
+        out = np.empty((codes.shape[0], self.n_dims), dtype=np.int64)
+        for j in range(self.n_dims - 1, -1, -1):
+            out[:, j] = codes % radices[j]
+            codes //= radices[j]
+        return out
+
+
+class GlobalClusterTable:
+    """Dense labels for the occupied cells of the interval grid.
+
+    The table is the sorted array of occupied cell codes; a point's label is
+    the position of its cell code in that array (``-1`` for cells never seen
+    during fit — novel regions at predict time).
+    """
+
+    def __init__(self, codes: np.ndarray, sizes: Optional[np.ndarray] = None):
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        if codes.size and np.any(np.diff(codes) <= 0):
+            order = np.argsort(codes)
+            codes = codes[order]
+            if sizes is not None:
+                sizes = np.asarray(sizes, dtype=np.int64).ravel()[order]
+            if np.any(np.diff(codes) == 0):
+                raise ValidationError("cell codes must be unique")
+        self.codes = codes
+        self.sizes = (
+            None if sizes is None else np.asarray(sizes, dtype=np.int64).ravel()
+        )
+        if self.sizes is not None and self.sizes.shape != self.codes.shape:
+            raise ValidationError("sizes must align with codes")
+
+    @classmethod
+    def from_points(cls, codes_of_points: np.ndarray) -> "GlobalClusterTable":
+        """Build the table from the per-point cell codes seen during fit."""
+        codes, sizes = np.unique(np.asarray(codes_of_points, dtype=np.int64),
+                                 return_counts=True)
+        return cls(codes, sizes)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.codes.size)
+
+    def lookup(self, codes_of_points: np.ndarray) -> np.ndarray:
+        """Labels in ``[0, n_clusters)``; ``-1`` marks unseen cells."""
+        pts = np.asarray(codes_of_points, dtype=np.int64)
+        if self.codes.size == 0:
+            return np.full(pts.shape, -1, dtype=np.int64)
+        pos = np.searchsorted(self.codes, pts)
+        pos_clipped = np.clip(pos, 0, self.codes.size - 1)
+        hit = self.codes[pos_clipped] == pts
+        labels = np.where(hit, pos_clipped, -1)
+        return labels.astype(np.int64)
+
+    def merge(self, other: "GlobalClusterTable") -> "GlobalClusterTable":
+        """Union of two tables (distributed fit: cells seen on any rank)."""
+        if other.n_clusters == 0:
+            return GlobalClusterTable(self.codes.copy(),
+                                      None if self.sizes is None else self.sizes.copy())
+        all_codes = np.concatenate([self.codes, other.codes])
+        if self.sizes is not None and other.sizes is not None:
+            all_sizes = np.concatenate([self.sizes, other.sizes])
+            codes, inverse = np.unique(all_codes, return_inverse=True)
+            sizes = np.zeros(codes.size, dtype=np.int64)
+            np.add.at(sizes, inverse, all_sizes)
+            return GlobalClusterTable(codes, sizes)
+        codes = np.unique(all_codes)
+        return GlobalClusterTable(codes)

@@ -1,0 +1,63 @@
+"""Privacy properties of the histogram exchange (paper §1).
+
+The paper argues that bins "cannot be used to trace back or reconstruct
+the original information", making KeyBin2 "ideal for distributed and
+privacy sensitive scenarios". These utilities quantify that claim for a
+given configuration:
+
+* :func:`reconstruction_ambiguity` — the per-coordinate uncertainty any
+  adversary holding the histograms must accept: at depth ``d`` a value is
+  only known to within its bin's width ``span / 2^d``, and only *marginal*
+  memberships are revealed, never joint coordinates.
+* :func:`histogram_anonymity` — k-anonymity-style occupancy statistics:
+  how many points share each published (dimension, bin) cell.
+
+These are design-analysis tools, not a formal privacy proof — the paper
+offers none either; differential-privacy noise on the histogram counts
+would compose naturally with the pipeline and is left as configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.binning import SpaceRange
+from repro.errors import ValidationError
+
+__all__ = ["reconstruction_ambiguity", "histogram_anonymity"]
+
+
+def reconstruction_ambiguity(space: SpaceRange, depth: int) -> np.ndarray:
+    """Per-dimension reconstruction uncertainty (bin width).
+
+    Any reconstruction from the published histograms can pin a projected
+    coordinate down only to an interval of this width; the pre-image in
+    the original space is an entire affine subspace per projected value,
+    so original coordinates are strictly less identifiable still.
+    """
+    if depth < 1:
+        raise ValidationError("depth must be >= 1")
+    return space.span / (1 << depth)
+
+
+def histogram_anonymity(counts: np.ndarray) -> Dict[str, float]:
+    """Occupancy statistics of the published cells.
+
+    Returns the minimum / median occupancy over *non-empty* cells and the
+    fraction of singleton cells (cells revealing that exactly one point
+    lies in a bin — the closest thing to a leak the histogram permits).
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ValidationError("expected an (n_dims × B) histogram table")
+    occupied = counts[counts > 0]
+    if occupied.size == 0:
+        return {"min_occupancy": 0.0, "median_occupancy": 0.0,
+                "singleton_fraction": 0.0}
+    return {
+        "min_occupancy": float(occupied.min()),
+        "median_occupancy": float(np.median(occupied)),
+        "singleton_fraction": float(np.mean(occupied == 1)),
+    }

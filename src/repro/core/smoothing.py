@@ -1,0 +1,91 @@
+"""Histogram smoothing and discrete derivatives (paper §3.2).
+
+The partitioner needs a smoothed view of each dimension's density before it
+can find cuts. The paper uses a moving average with window
+``w = sqrt(log2(M)²) = |log2(M)|`` followed by local (least-squares linear)
+regression per window; the regression slope is the discrete first
+derivative, and differentiating the slopes gives the second derivative that
+flags inflection points. This is a Savitzky–Golay-style scheme and — as the
+paper argues — reaches KDE-like quality at a fraction of the cost, because
+it runs on ``B = O(log M)`` bins instead of ``M`` points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["paper_window", "moving_average", "local_slopes", "second_derivative"]
+
+
+def paper_window(n_points: int, n_bins: Optional[int] = None) -> int:
+    """The paper's smoothing window: the square root of the bin count.
+
+    §3.2 sets the window "equal to the square root of the number of bins in
+    the histogram (w = sqrt(log2²(M)))" — i.e. with the paper's
+    ``B = log2²(M)`` bins the window is ``sqrt(B) = log2(M)``. The general
+    rule is bin-based: ``w = sqrt(B)``, which keeps the smoothed fraction of
+    the space constant across depths. When the bin count is unknown
+    (``n_bins=None``) the M-based form ``log2(M)`` is used.
+    """
+    if n_points < 1:
+        raise ValidationError(f"n_points must be >= 1, got {n_points}")
+    if n_bins is not None:
+        if n_bins < 1:
+            raise ValidationError(f"n_bins must be >= 1, got {n_bins}")
+        return max(1, int(round(math.sqrt(n_bins))))
+    return max(1, int(round(math.log2(max(n_points, 2)))))
+
+
+def _check_window(y: np.ndarray, window: int) -> np.ndarray:
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValidationError("smoothing operates on 1-D histograms")
+    if window < 1:
+        raise ValidationError(f"window must be >= 1, got {window}")
+    return y
+
+
+def moving_average(y: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with reflected boundaries.
+
+    The effective window is ``2·(window // 2) + 1`` (always odd, so the
+    result is not phase-shifted). ``window == 1`` returns a copy.
+    """
+    y = _check_window(y, window)
+    half = window // 2
+    if half == 0 or y.size <= 1:
+        return y.copy()
+    half = min(half, y.size - 1)
+    padded = np.pad(y, half, mode="reflect")
+    kernel_size = 2 * half + 1
+    csum = np.cumsum(np.concatenate([[0.0], padded]))
+    return (csum[kernel_size:] - csum[:-kernel_size]) / kernel_size
+
+
+def local_slopes(y: np.ndarray, window: int) -> np.ndarray:
+    """First derivative via windowed least-squares linear regression.
+
+    For a centered window of half-width ``h``, the regression slope at bin
+    ``i`` has the closed form ``Σ_k k·y[i+k] / Σ_k k²`` (k = −h..h), which a
+    single correlation evaluates for every bin at once.
+    """
+    y = _check_window(y, window)
+    half = max(1, window // 2)
+    if y.size < 2:
+        return np.zeros_like(y)
+    half = min(half, y.size - 1)
+    k = np.arange(-half, half + 1, dtype=np.float64)
+    denom = float(np.sum(k * k))
+    padded = np.pad(y, half, mode="reflect")
+    # np.correlate slides the kernel without flipping, matching Σ k·y[i+k].
+    return np.correlate(padded, k, mode="valid") / denom
+
+
+def second_derivative(y: np.ndarray, window: int) -> np.ndarray:
+    """Second derivative: the slope of the slopes (inflection detector)."""
+    return local_slopes(local_slopes(y, window), window)

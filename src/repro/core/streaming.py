@@ -1,0 +1,366 @@
+"""Incremental KeyBin2 for streams and batch sequences (paper §3, step 2).
+
+The streaming pipeline keeps, per candidate projection, only:
+
+* the projection matrix,
+* the binning range (seeded by the first batch, widened by a safety
+  factor; later out-of-range values clip into boundary bins),
+* per-depth marginal histograms (O(N_rp · B) integers), and
+* a capped sparse counter of occupied deep-key cells, which is what the
+  final clustering assignment needs to enumerate clusters.
+
+``partial_fit`` is O(batch); ``refresh`` re-runs collapse → cut → score on
+the accumulated histograms and installs the best model, mirroring the
+paper's "histograms are communicated periodically" regime. ``predict``
+labels new points with the current model without storing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assess import histogram_ch_index
+from repro.core.binning import SpaceRange
+from repro.core.collapse import collapse_dimensions
+from repro.core.model import KeyBin2Model
+from repro.core.partitioning import find_cuts
+from repro.core.primary import GlobalClusterTable, PrimaryPartition
+from repro.core.projection import projection_matrix, target_dimension
+from repro.errors import NotFittedError, ValidationError
+from repro.kernels.engine import KernelEngine
+from repro.kernels.histogram import accumulate_histogram
+from repro.kernels.keys import bin_indices, prefix_bins
+from repro.kernels.project import project_points
+from repro.util.rng import SeedLike, spawn_generators
+from repro.util.validation import check_array_2d, check_finite
+
+__all__ = ["KeyCounter", "StreamingKeyBin2"]
+
+
+class KeyCounter:
+    """Capped sparse counter of occupied deep-key cells.
+
+    Keys are rows of small integers (deep bin indices per kept dimension),
+    hashed by their bytes. When the number of distinct keys exceeds
+    ``capacity``, the smallest-count half of the entries is evicted —
+    dropping only cells that would have formed negligible clusters. The
+    eviction count is tracked so callers can report the approximation.
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValidationError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._counts: Dict[bytes, int] = {}
+        self.evicted_keys = 0
+        self.evicted_points = 0
+        self._width: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def update(self, rows: np.ndarray) -> None:
+        """Count unique rows of an (M × D) uint8 array."""
+        rows = np.ascontiguousarray(rows, dtype=np.uint8)
+        if rows.ndim != 2:
+            raise ValidationError("KeyCounter.update needs a 2-D array")
+        if self._width is None:
+            self._width = rows.shape[1]
+        elif rows.shape[1] != self._width:
+            raise ValidationError(
+                f"key width changed from {self._width} to {rows.shape[1]}"
+            )
+        if rows.shape[0] == 0:
+            return
+        void_view = rows.view([("", np.uint8)] * rows.shape[1]).ravel()
+        uniq, counts = np.unique(void_view, return_counts=True)
+        raw = uniq.tobytes()
+        width = rows.shape[1]
+        for i, c in enumerate(counts):
+            key = raw[i * width : (i + 1) * width]
+            self._counts[key] = self._counts.get(key, 0) + int(c)
+        if len(self._counts) > self.capacity:
+            self._evict()
+
+    def _evict(self) -> None:
+        items = sorted(self._counts.items(), key=lambda kv: kv[1])
+        n_drop = len(items) - self.capacity // 2
+        for key, cnt in items[:n_drop]:
+            del self._counts[key]
+            self.evicted_keys += 1
+            self.evicted_points += cnt
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys (K × D) uint8, counts (K,)) of surviving cells."""
+        if not self._counts or self._width is None:
+            return np.empty((0, 0), dtype=np.uint8), np.empty(0, dtype=np.int64)
+        keys = np.frombuffer(
+            b"".join(self._counts.keys()), dtype=np.uint8
+        ).reshape(len(self._counts), self._width)
+        counts = np.fromiter(self._counts.values(), dtype=np.int64, count=len(self._counts))
+        return keys.copy(), counts
+
+
+def _projected_bounds(
+    feature_range, matrix, n_features: int, cover_sigmas: float = 2.0
+) -> SpaceRange:
+    """Concentration bounds of the projected space from feature bounds.
+
+    The exact box-corner extremes of ``Σ_r x_r·a_rj`` are hopelessly loose
+    for random unit directions (width O(√N·(high−low))) — real data
+    concentrates. A bounded feature contributes at most
+    ``(high_r − low_r)/2`` deviation around its midpoint, and for a unit
+    column the projected standard deviation is therefore at most
+    ``max_r (high_r − low_r)/2`` (Hoeffding/McDiarmid scale, independent of
+    N). The range is the projected midpoint ± ``cover_sigmas`` of that
+    scale; the vanishingly rare exceedances clip into boundary bins.
+    """
+    low, high = feature_range
+    low = np.broadcast_to(np.asarray(low, dtype=np.float64), (n_features,))
+    high = np.broadcast_to(np.asarray(high, dtype=np.float64), (n_features,))
+    if np.any(high <= low):
+        raise ValidationError("feature_range must satisfy high > low per feature")
+    if matrix is None:
+        pad = (high - low) * 0.05
+        return SpaceRange(low - pad, high + pad)
+    mid = (low + high) / 2.0
+    center = mid @ matrix
+    scale = float(np.max((high - low) / 2.0))
+    half = cover_sigmas * scale
+    return SpaceRange(center - half, center + half)
+
+
+class _ProjectionState:
+    """Per-projection streaming accumulators."""
+
+    def __init__(
+        self,
+        matrix: Optional[np.ndarray],
+        space: SpaceRange,
+        depths: Sequence[int],
+        key_capacity: int,
+    ):
+        self.matrix = matrix
+        self.space = space
+        self.depths = tuple(sorted(set(int(d) for d in depths)))
+        n_dims = space.n_dims
+        self.hist = {d: np.zeros((n_dims, 1 << d), dtype=np.int64) for d in self.depths}
+        self.keys = KeyCounter(key_capacity)
+        self.n_points = 0
+
+
+class StreamingKeyBin2:
+    """Incremental KeyBin2.
+
+    Parameters mirror :class:`~repro.core.estimator.KeyBin2`, plus:
+
+    range_expand:
+        Extra fractional widening of the first batch's measured range, to
+        absorb later drift (out-of-range values clip).
+    feature_range:
+        Optional ``(low, high)`` bounds of the *original* features, known a
+        priori (the paper's "predetermined space range"). Scalars or
+        per-feature arrays. When given, exact projected bounds are derived
+        from each projection matrix instead of measuring the first batch —
+        essential for non-stationary streams whose early batches do not
+        visit the whole space (e.g. folding trajectories, where secondary-
+        structure codes always lie in [0, 6]).
+    key_capacity:
+        Cap on tracked occupied cells per projection (see
+        :class:`KeyCounter`).
+
+    Usage::
+
+        skb = StreamingKeyBin2(seed=0)
+        for batch, _ in stream:
+            skb.partial_fit(batch)
+        skb.refresh()                 # consolidate → model_
+        labels = skb.predict(batch)
+    """
+
+    def __init__(
+        self,
+        n_projections: int = 4,
+        n_components: Optional[int] = None,
+        candidate_depths: Sequence[int] = (4, 5, 6, 7),
+        projection: str = "gaussian",
+        projection_factor: float = 1.5,
+        range_expand: float = 0.25,
+        feature_range=None,
+        collapse: bool = True,
+        uniform_threshold: float = 0.05,
+        min_support_bins: int = 3,
+        min_cut_prominence: float = 0.10,
+        key_capacity: int = 100_000,
+        seed: SeedLike = None,
+        engine: Optional[KernelEngine] = None,
+    ):
+        if n_projections < 1:
+            raise ValidationError("n_projections must be >= 1")
+        if not candidate_depths:
+            raise ValidationError("candidate_depths must be non-empty")
+        if max(candidate_depths) > 8:
+            raise ValidationError(
+                "streaming mode stores deep keys as uint8; depths above 8 "
+                "are not supported"
+            )
+        self.n_projections = int(n_projections)
+        self.n_components = n_components
+        self.candidate_depths = tuple(sorted(set(int(d) for d in candidate_depths)))
+        self.projection = projection
+        self.projection_factor = float(projection_factor)
+        self.range_expand = float(range_expand)
+        self.feature_range = feature_range
+        self.collapse = bool(collapse)
+        self.uniform_threshold = float(uniform_threshold)
+        self.min_support_bins = int(min_support_bins)
+        self.min_cut_prominence = float(min_cut_prominence)
+        self.key_capacity = int(key_capacity)
+        self.seed = seed
+        self.engine = engine
+
+        self._states: Optional[List[_ProjectionState]] = None
+        self.model_: Optional[KeyBin2Model] = None
+        self.n_seen_ = 0
+
+    # -- accumulation -------------------------------------------------------
+
+    def _initialize(self, x: np.ndarray) -> None:
+        n = x.shape[1]
+        self.n_features_in_ = n
+        rngs = spawn_generators(self.seed, self.n_projections)
+        states: List[_ProjectionState] = []
+        for rng in rngs:
+            if self.projection == "none":
+                matrix = None
+                projected = x
+            else:
+                n_rp = (
+                    target_dimension(n, factor=self.projection_factor)
+                    if self.n_components is None
+                    else int(self.n_components)
+                )
+                n_rp = min(max(n_rp, 1), n)
+                matrix = projection_matrix(n, n_rp, seed=rng, kind=self.projection)
+                projected = project_points(x, matrix, engine=self.engine)
+            if self.feature_range is not None:
+                space = _projected_bounds(self.feature_range, matrix, n)
+            else:
+                space = SpaceRange.from_data(projected, margin=0.05).expand(
+                    self.range_expand
+                )
+            states.append(
+                _ProjectionState(matrix, space, self.candidate_depths, self.key_capacity)
+            )
+        self._states = states
+
+    def partial_fit(self, x: np.ndarray) -> "StreamingKeyBin2":
+        """Accumulate one batch (a single point works too — M = 1 streams)."""
+        x = check_array_2d(x, "X")
+        check_finite(x, "X")
+        if self._states is None:
+            self._initialize(x)
+        assert self._states is not None
+        if x.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"batch has {x.shape[1]} features, stream started with "
+                f"{self.n_features_in_}"
+            )
+        deepest = self.candidate_depths[-1]
+        for state in self._states:
+            projected = (
+                x if state.matrix is None
+                else project_points(x, state.matrix, engine=self.engine)
+            )
+            deep = bin_indices(
+                projected, state.space.r_min, state.space.r_max, deepest,
+                engine=self.engine,
+            )
+            for d in state.depths:
+                b = deep if d == deepest else prefix_bins(deep, deepest, d)
+                accumulate_histogram(b, 1 << d, out=state.hist[d], engine=self.engine)
+            state.keys.update(deep.astype(np.uint8))
+            state.n_points += x.shape[0]
+        self.n_seen_ += x.shape[0]
+        return self
+
+    # -- consolidation ---------------------------------------------------------
+
+    def refresh(self) -> "StreamingKeyBin2":
+        """Re-partition the accumulated histograms and install the best model."""
+        if self._states is None or self.n_seen_ == 0:
+            raise NotFittedError("no data accumulated; call partial_fit first")
+        deepest = self.candidate_depths[-1]
+        best_model: Optional[KeyBin2Model] = None
+        fallback: Optional[KeyBin2Model] = None
+        for trial, state in enumerate(self._states):
+            if self.collapse:
+                kept = collapse_dimensions(
+                    state.hist[deepest],
+                    uniform_threshold=self.uniform_threshold,
+                    min_support_bins=self.min_support_bins,
+                )
+            else:
+                kept = np.ones(state.space.n_dims, dtype=bool)
+            deep_keys, key_counts = state.keys.to_arrays()
+            for d in self.candidate_depths:
+                counts_kept = state.hist[d][kept]
+                cuts = [
+                    find_cuts(
+                        counts_kept[j],
+                        n_points=state.n_points,
+                        min_prominence=self.min_cut_prominence,
+                    )
+                    for j in range(counts_kept.shape[0])
+                ]
+                partition = PrimaryPartition(d, cuts)
+                if deep_keys.size:
+                    bins_d = deep_keys[:, kept].astype(np.int32) >> (deepest - d)
+                    intervals = partition.intervals_for(bins_d)
+                    codes = partition.cell_codes(intervals)
+                    uniq_codes, inverse = np.unique(codes, return_inverse=True)
+                    sizes = np.zeros(uniq_codes.size, dtype=np.int64)
+                    np.add.at(sizes, inverse, key_counts)
+                    table = GlobalClusterTable(uniq_codes, sizes)
+                else:  # no keys survived (pathological capacity)
+                    table = GlobalClusterTable(np.empty(0, dtype=np.int64))
+                cell_intervals = partition.decode_cells(table.codes)
+                score = histogram_ch_index(counts_kept, partition.cuts, cell_intervals)
+                model = KeyBin2Model(
+                    projection=state.matrix,
+                    space=state.space,
+                    partition=partition,
+                    kept_dims=kept,
+                    table=table,
+                    score=score,
+                    depth=d,
+                    n_points_fit=state.n_points,
+                    meta={
+                        "trial": trial,
+                        "streaming": True,
+                        "evicted_points": state.keys.evicted_points,
+                    },
+                )
+                if table.n_clusters >= 2:
+                    if best_model is None or score > best_model.score:
+                        best_model = model
+                elif fallback is None:
+                    fallback = model
+        self.model_ = best_model if best_model is not None else fallback
+        return self
+
+    # -- inference -----------------------------------------------------------------
+
+    @property
+    def n_clusters_(self) -> int:
+        if self.model_ is None:
+            raise NotFittedError("call refresh() before reading n_clusters_")
+        return self.model_.n_clusters
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Label points with the current model (−1 = cell unseen so far)."""
+        if self.model_ is None:
+            raise NotFittedError("call refresh() before predict()")
+        return self.model_.predict(x, engine=self.engine)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors (``TypeError`` and friends from
+misuse still propagate unchanged).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "CommError",
+    "RankFailedError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters are invalid."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before :meth:`fit` was called."""
+
+
+class CommError(ReproError, RuntimeError):
+    """Raised on communication-substrate failures."""
+
+
+class RankFailedError(CommError):
+    """Raised when a peer rank died or raised inside an SPMD section.
+
+    Attributes
+    ----------
+    rank:
+        The rank that failed, or ``-1`` when unknown.
+    """
+
+    def __init__(self, message: str, rank: int = -1):
+        super().__init__(message)
+        self.rank = rank
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative algorithm fails to converge."""

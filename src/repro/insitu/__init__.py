@@ -1,0 +1,51 @@
+"""In-situ trajectory analysis (paper §5).
+
+Two complementary views of a folding trajectory:
+
+- **cluster fingerprints** (:mod:`repro.insitu.fingerprint`) — the online
+  product of KeyBin2: sequences of fine-grained cluster labels whose
+  windowed signatures identify the conformational search space a frame
+  belongs to;
+- **probabilistic stability** (:mod:`repro.insitu.stability`) — the
+  paper's offline validation (eqs. 3–4): RMSD-derived label probabilities,
+  70% high-density-region scores, and a stable/transitional decision per
+  frame, from which :mod:`repro.insitu.segments` extracts metastable
+  segments.
+
+:mod:`repro.insitu.pipeline` couples a running simulation to streaming
+KeyBin2 the way an in-situ deployment would.
+"""
+
+from __future__ import annotations
+
+from repro.insitu.fingerprint import window_fingerprints, fingerprint_change_points
+from repro.insitu.stability import (
+    label_probabilities,
+    hdr_center,
+    stability_scores,
+    stability_decisions,
+)
+from repro.insitu.segments import Segment, extract_segments, segment_frame_labels
+from repro.insitu.pipeline import InSituPipeline, InSituResult
+from repro.insitu.distributed import (
+    DistributedInSituResult,
+    distributed_insitu_spmd,
+    run_distributed_insitu,
+)
+
+__all__ = [
+    "DistributedInSituResult",
+    "distributed_insitu_spmd",
+    "run_distributed_insitu",
+    "window_fingerprints",
+    "fingerprint_change_points",
+    "label_probabilities",
+    "hdr_center",
+    "stability_scores",
+    "stability_decisions",
+    "Segment",
+    "extract_segments",
+    "segment_frame_labels",
+    "InSituPipeline",
+    "InSituResult",
+]

@@ -1,0 +1,192 @@
+"""Distributed in-situ analysis (paper §5.1).
+
+"Simulations can be performed in parallel, with different nodes taking
+care of different segments of a trajectory, or, more accurately, different
+trajectories given particular starting conditions. As simulations
+progress, in-situ analysis is necessary to determine what conformational
+spaces have been analyzed…"
+
+This driver couples one simulation per SPMD rank to a *shared* streaming
+KeyBin2 state: every rank accumulates local histograms and occupied-cell
+counts over its own frames; periodically the histograms are summed with an
+allreduce and the cell tables unioned, so every rank labels with the same
+global model. A conformation first visited by rank 3's simulation is
+recognized when rank 0's trajectory reaches it — the cross-trajectory
+convergence §5 is about.
+
+All ranks construct identical projection matrices and binning ranges from
+the shared seed and the a-priori feature range, so merged histograms are
+meaningful without any calibration traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.base import Communicator, ReduceOp
+from repro.comm.spmd import run_spmd
+from repro.core.streaming import StreamingKeyBin2
+from repro.errors import ValidationError
+from repro.insitu.fingerprint import fingerprint_change_points, window_fingerprints
+from repro.metrics.external import normalized_mutual_info
+from repro.proteins.encode import encode_frames
+from repro.proteins.trajectory import Trajectory
+
+__all__ = ["DistributedInSituResult", "distributed_insitu_spmd", "run_distributed_insitu"]
+
+
+@dataclass
+class DistributedInSituResult:
+    """Per-rank outcome of a distributed in-situ run."""
+
+    labels: np.ndarray                # final labels for this rank's frames
+    fingerprints: list
+    fingerprint_changes: np.ndarray
+    n_clusters: int                   # global cluster count (same all ranks)
+    phase_nmi: Optional[float]
+    traffic: Dict[str, int] = field(default_factory=dict)
+
+
+def _merge_streaming_state(comm: Communicator, skb: StreamingKeyBin2) -> None:
+    """Sum histograms and union key counters across ranks, in place.
+
+    Histogram tables ride one allreduce buffer; occupied-cell counters are
+    gathered at the master, merged, and broadcast (they are small because
+    clustered data occupies few cells).
+    """
+    assert skb._states is not None
+    # --- histograms: one flat allreduce for all projections and depths ---
+    flat = np.concatenate(
+        [st.hist[d].ravel() for st in skb._states for d in st.depths]
+    )
+    total = comm.allreduce(flat, op=ReduceOp.SUM)
+    offset = 0
+    for st in skb._states:
+        for d in st.depths:
+            size = st.hist[d].size
+            merged = total[offset : offset + size].reshape(st.hist[d].shape)
+            st.hist[d][...] = merged
+            offset += size
+    # --- key counters: gather → merge → bcast ---
+    payload = [st.keys.to_arrays() for st in skb._states]
+    gathered = comm.gather(payload, root=0)
+    if comm.rank == 0:
+        merged_counters = []
+        for proj_idx, st in enumerate(skb._states):
+            combined: Dict[bytes, int] = {}
+            for rank_payload in gathered:
+                keys, counts = rank_payload[proj_idx]
+                width = keys.shape[1] if keys.size else 0
+                raw = keys.tobytes()
+                for i in range(keys.shape[0]):
+                    kb = raw[i * width : (i + 1) * width]
+                    combined[kb] = combined.get(kb, 0) + int(counts[i])
+            merged_counters.append(combined)
+    else:
+        merged_counters = None
+    merged_counters = comm.bcast(merged_counters, root=0)
+    # Points seen globally (identical on every rank after the allreduce).
+    global_seen = int(comm.allreduce(np.array([skb.n_seen_]))[0])
+    for st, combined in zip(skb._states, merged_counters):
+        st.keys._counts = dict(combined)
+        if combined and st.keys._width is None:
+            st.keys._width = len(next(iter(combined)))
+        st.n_points = global_seen
+    skb.n_seen_ = global_seen
+
+
+def distributed_insitu_spmd(
+    comm: Communicator,
+    trajectory: Trajectory,
+    chunk_size: int = 250,
+    consolidate_every: int = 4,
+    fingerprint_window: int = 50,
+    seed: int = 0,
+    **keybin_params: Any,
+) -> DistributedInSituResult:
+    """SPMD in-situ analysis: each rank passes its *own* trajectory.
+
+    All ranks share ``seed`` (identical projections/ranges). Every
+    ``consolidate_every`` chunks, streaming state is merged globally —
+    the only communication, sized O(histograms + occupied cells).
+    """
+    if chunk_size < 1 or consolidate_every < 1:
+        raise ValidationError("chunk_size and consolidate_every must be >= 1")
+    features = encode_frames(trajectory.angles)
+
+    params = {
+        "feature_range": (0.0, 6.0),
+        "candidate_depths": (5, 6, 7, 8),
+    }
+    params.update(keybin_params)
+    skb = StreamingKeyBin2(seed=seed, **params)
+
+    n_frames = features.shape[0]
+    n_chunks_local = -(-n_frames // chunk_size)
+    # Ranks may hold different trajectory lengths; every rank must join
+    # every consolidation, so the consolidation count is agreed globally.
+    n_chunks_global = int(comm.allreduce(n_chunks_local, op=ReduceOp.MAX))
+
+    chunk_idx = 0
+    for start in range(0, n_chunks_global * chunk_size, chunk_size):
+        if start < n_frames:
+            stop = min(start + chunk_size, n_frames)
+            skb.partial_fit(features[start:stop])
+        elif skb._states is None:
+            raise ValidationError("rank has no frames at all")
+        chunk_idx += 1
+        if chunk_idx % consolidate_every == 0 or chunk_idx == n_chunks_global:
+            _merge_streaming_state(comm, skb)
+
+    skb.refresh()
+    labels = skb.predict(features)
+    prints = window_fingerprints(labels, window=fingerprint_window)
+    changes = fingerprint_change_points(prints)
+    phase_nmi = (
+        float(normalized_mutual_info(trajectory.phase_ids, labels))
+        if trajectory.phase_ids is not None
+        else None
+    )
+    # Global cluster count (model is identical everywhere after merging).
+    n_clusters = skb.n_clusters_
+    return DistributedInSituResult(
+        labels=labels,
+        fingerprints=prints,
+        fingerprint_changes=changes,
+        n_clusters=n_clusters,
+        phase_nmi=phase_nmi,
+        traffic=comm.traffic.snapshot(),
+    )
+
+
+def _entry(comm, trajectories, chunk_size, consolidate_every, seed, params):
+    res = distributed_insitu_spmd(
+        comm, trajectories[comm.rank], chunk_size=chunk_size,
+        consolidate_every=consolidate_every, seed=seed, **params,
+    )
+    return res
+
+
+def run_distributed_insitu(
+    trajectories: Sequence[Trajectory],
+    chunk_size: int = 250,
+    consolidate_every: int = 4,
+    seed: int = 0,
+    executor: str = "thread",
+    timeout: Optional[float] = 600.0,
+    **keybin_params: Any,
+) -> List[DistributedInSituResult]:
+    """Front-end: one rank per trajectory, results in rank order."""
+    if not trajectories:
+        raise ValidationError("need at least one trajectory")
+    return run_spmd(
+        _entry,
+        len(trajectories),
+        executor=executor,
+        args=(list(trajectories), chunk_size, consolidate_every, seed,
+              dict(keybin_params)),
+        timeout=timeout,
+    )

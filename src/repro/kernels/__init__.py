@@ -1,0 +1,43 @@
+"""Data-parallel compute kernels (GPU substitute).
+
+The paper accelerates key assignment and histogram construction with
+Numba-CUDA kernels on Tesla K40m GPUs. The algorithmic structure those
+kernels exploit is plain data parallelism: every (point, dimension) pair is
+independent. This package reproduces that structure with vectorized NumPy
+executed through a chunked :class:`~repro.kernels.engine.KernelEngine`
+that mirrors a GPU grid — blocks of points are processed independently, so
+the same decomposition would map 1:1 onto real CUDA blocks.
+
+All kernels are allocation-disciplined: outputs can be preallocated and are
+written in place, and chunked execution keeps the working set cache-sized
+(see the hpc-parallel guide notes on views, contiguity and in-place ops).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.engine import KernelEngine, DEFAULT_BLOCK_SIZE
+from repro.kernels.project import project_points
+from repro.kernels.keys import (
+    bin_indices,
+    bin_indices_at_depths,
+    prefix_bins,
+    pack_keys,
+    unpack_keys,
+)
+from repro.kernels.histogram import accumulate_histogram, accumulate_histograms
+from repro.kernels.labels import intervals_for_bins, combine_interval_labels
+
+__all__ = [
+    "KernelEngine",
+    "DEFAULT_BLOCK_SIZE",
+    "project_points",
+    "bin_indices",
+    "bin_indices_at_depths",
+    "prefix_bins",
+    "pack_keys",
+    "unpack_keys",
+    "accumulate_histogram",
+    "accumulate_histograms",
+    "intervals_for_bins",
+    "combine_interval_labels",
+]

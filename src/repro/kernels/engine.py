@@ -1,0 +1,103 @@
+"""Chunked kernel-execution engine.
+
+A stand-in for the paper's CUDA launch machinery: work over ``M`` points is
+split into contiguous blocks (the grid), each block is handed to a
+vectorized kernel (the warp-level SIMD work), and per-block partial results
+are combined by an optional reducer. Because blocks are row slices of a
+C-contiguous array, each launch touches a cache-friendly working set and
+never copies input data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.chunking import chunk_slices
+
+__all__ = ["KernelEngine", "DEFAULT_BLOCK_SIZE"]
+
+#: Default number of points per block; sized so a block of ~1280-d float64
+#: rows stays in the tens of MB.
+DEFAULT_BLOCK_SIZE = 8192
+
+
+class KernelEngine:
+    """Executes point-parallel kernels block by block.
+
+    Parameters
+    ----------
+    block_size:
+        Rows per block. Smaller blocks trade launch overhead for a smaller
+        working set; ``None`` processes everything in one launch.
+    """
+
+    def __init__(self, block_size: Optional[int] = DEFAULT_BLOCK_SIZE):
+        if block_size is not None and block_size < 1:
+            raise ValidationError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        self.launches = 0
+
+    def blocks(self, n_rows: int) -> List[tuple[int, int]]:
+        """Contiguous (start, stop) block ranges covering ``n_rows`` rows."""
+        if n_rows == 0:
+            return []
+        if self.block_size is None or self.block_size >= n_rows:
+            return [(0, n_rows)]
+        n_blocks = -(-n_rows // self.block_size)
+        return chunk_slices(n_rows, n_blocks)
+
+    def map(
+        self,
+        kernel: Callable[..., np.ndarray],
+        x: np.ndarray,
+        *kernel_args: Any,
+        out: Optional[np.ndarray] = None,
+        out_shape: Optional[tuple] = None,
+        out_dtype=None,
+    ) -> np.ndarray:
+        """Apply ``kernel(block, *args)`` to row blocks, writing rows of ``out``.
+
+        ``kernel`` must return an array whose first axis matches the block's
+        row count. When ``out`` is omitted, it is allocated from
+        ``out_shape``/``out_dtype`` (defaults: same rows as ``x``, kernel's
+        dtype inferred from the first block).
+        """
+        n = x.shape[0]
+        blocks = self.blocks(n)
+        for start, stop in blocks:
+            self.launches += 1
+            result = kernel(x[start:stop], *kernel_args)
+            if out is None:
+                shape = out_shape if out_shape is not None else (n,) + result.shape[1:]
+                dtype = out_dtype if out_dtype is not None else result.dtype
+                out = np.empty(shape, dtype=dtype)
+            out[start:stop] = result
+        if out is None:  # zero-row input
+            shape = out_shape if out_shape is not None else (0,)
+            dtype = out_dtype if out_dtype is not None else np.float64
+            out = np.empty(shape, dtype=dtype)
+        return out
+
+    def reduce(
+        self,
+        kernel: Callable[..., Any],
+        x: np.ndarray,
+        *kernel_args: Any,
+        combine: Callable[[Any, Any], Any],
+        initial: Any = None,
+    ) -> Any:
+        """Fold ``kernel`` outputs over row blocks with ``combine``.
+
+        Used for histogram accumulation: each block produces partial counts
+        which are summed — the exact shape of a GPU block-level histogram
+        with a global atomic merge.
+        """
+        acc = initial
+        for start, stop in self.blocks(x.shape[0]):
+            self.launches += 1
+            partial = kernel(x[start:stop], *kernel_args)
+            acc = partial if acc is None else combine(acc, partial)
+        return acc

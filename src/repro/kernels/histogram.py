@@ -1,0 +1,88 @@
+"""Histogram accumulation kernels.
+
+Per-dimension bin densities are the *only* data-derived state KeyBin2 ever
+communicates, so this is the hot accumulation path. Counting uses a single
+flattened ``bincount`` over ``dim * n_bins + bin`` — one pass over the block
+regardless of dimensionality, matching the GPU pattern of per-block shared-
+memory histograms merged into the global one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.engine import KernelEngine
+
+__all__ = ["accumulate_histogram", "accumulate_histograms"]
+
+
+def accumulate_histogram(
+    bins: np.ndarray,
+    n_bins: int,
+    out: Optional[np.ndarray] = None,
+    engine: Optional[KernelEngine] = None,
+) -> np.ndarray:
+    """Count bin occupancy per dimension.
+
+    Parameters
+    ----------
+    bins:
+        (M × N) integer bin indices, each in ``[0, n_bins)``.
+    n_bins:
+        Number of bins per dimension.
+    out:
+        Optional (N × n_bins) int64 accumulator, added to in place —
+        this is what makes streaming updates O(batch).
+
+    Returns
+    -------
+    (N × n_bins) int64 counts.
+    """
+    bins = np.asarray(bins)
+    if bins.ndim != 2:
+        raise ValidationError("accumulate_histogram needs a 2-D bins array")
+    m, n_dims = bins.shape
+    if out is None:
+        out = np.zeros((n_dims, n_bins), dtype=np.int64)
+    elif out.shape != (n_dims, n_bins):
+        raise ValidationError(
+            f"out shape {out.shape} != expected {(n_dims, n_bins)}"
+        )
+
+    offsets = (np.arange(n_dims, dtype=np.int64) * n_bins).reshape(1, -1)
+
+    def kernel(block: np.ndarray) -> np.ndarray:
+        flat = block.astype(np.int64, copy=False) + offsets
+        counts = np.bincount(flat.ravel(), minlength=n_dims * n_bins)
+        return counts.reshape(n_dims, n_bins)
+
+    if m == 0:
+        return out
+    if engine is None:
+        out += kernel(bins)
+        return out
+    partial = engine.reduce(kernel, bins, combine=lambda a, b: a + b)
+    out += partial
+    return out
+
+
+def accumulate_histograms(
+    bins_by_depth: dict[int, np.ndarray],
+    out: Optional[dict[int, np.ndarray]] = None,
+    engine: Optional[KernelEngine] = None,
+) -> dict[int, np.ndarray]:
+    """Accumulate histograms for every depth in one call.
+
+    ``bins_by_depth`` maps depth → (M × N) bin indices (as produced by
+    :func:`repro.kernels.keys.bin_indices_at_depths`).
+    """
+    result = out if out is not None else {}
+    for depth, bins in bins_by_depth.items():
+        n_bins = 1 << depth
+        result[depth] = accumulate_histogram(
+            bins, n_bins, out=result.get(depth), engine=engine
+        )
+    return result

@@ -1,0 +1,166 @@
+"""Hierarchical key/bin kernels (paper §3, step 2).
+
+A point's coordinate in dimension ``j`` is assigned, at depth ``d``, to one
+of ``2^d`` equal-width bins over the fixed range ``[r_min, r_max]``. The
+*key* of the point concatenates its deepest bin labels across dimensions.
+The bin hierarchy is a bit-prefix structure: the depth-``d`` bin of a point
+is its depth-``d_max`` bin shifted right by ``d_max - d`` bits, so only the
+deepest binning ever needs computing (:func:`prefix_bins` recovers the
+rest for free).
+
+Keys across dimensions are packed into a single ``int64`` per point
+(:func:`pack_keys`) when the total bit budget fits — the packed key is what
+gets grouped to form clusters — with a bytes-view fallback for extreme
+depth × dimensionality combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.engine import KernelEngine
+
+__all__ = [
+    "bin_indices",
+    "bin_indices_at_depths",
+    "prefix_bins",
+    "pack_keys",
+    "unpack_keys",
+]
+
+_MAX_PACK_BITS = 63
+
+
+def bin_indices(
+    x: np.ndarray,
+    r_min: np.ndarray,
+    r_max: np.ndarray,
+    depth: int,
+    engine: Optional[KernelEngine] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Depth-``depth`` bin index of every (point, dimension) entry.
+
+    Parameters
+    ----------
+    x:
+        (M × N) coordinates.
+    r_min, r_max:
+        Per-dimension range vectors (length N). Values outside the range
+        are clipped into the boundary bins — the streaming case where a
+        late point exceeds the initially observed range.
+    depth:
+        Bin tree depth; produces ``2^depth`` bins.
+
+    Returns
+    -------
+    (M × N) ``int32`` array of bin indices in ``[0, 2^depth)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValidationError("bin_indices needs 2-D input")
+    if depth < 1 or depth > 31:
+        raise ValidationError(f"depth must be in [1, 31], got {depth}")
+    r_min = np.asarray(r_min, dtype=np.float64).reshape(1, -1)
+    r_max = np.asarray(r_max, dtype=np.float64).reshape(1, -1)
+    if r_min.shape[1] != x.shape[1] or r_max.shape[1] != x.shape[1]:
+        raise ValidationError("r_min/r_max length must match number of dimensions")
+    span = r_max - r_min
+    if np.any(span <= 0):
+        raise ValidationError("r_max must be strictly greater than r_min per dimension")
+    n_bins = 1 << depth
+    with np.errstate(over="ignore"):
+        scale = n_bins / span
+    # A dimension whose span underflows the divide is effectively constant:
+    # map it wholesale into bin 0 instead of propagating inf/nan.
+    scale[~np.isfinite(scale)] = 0.0
+
+    def kernel(block: np.ndarray) -> np.ndarray:
+        idx = (block - r_min) * scale
+        np.floor(idx, out=idx)
+        np.clip(idx, 0, n_bins - 1, out=idx)
+        return idx.astype(np.int32, copy=False)
+
+    if engine is None:
+        result = kernel(x)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+    return engine.map(kernel, x, out=out, out_shape=x.shape, out_dtype=np.int32)
+
+
+def prefix_bins(deep_bins: np.ndarray, from_depth: int, to_depth: int) -> np.ndarray:
+    """Bin indices at a shallower depth from the deepest binning.
+
+    Depth-``to_depth`` bins are the high-order bits of depth-``from_depth``
+    bins, so this is a single right shift — the hierarchical-key property.
+    """
+    if to_depth > from_depth:
+        raise ValidationError(
+            f"to_depth ({to_depth}) cannot exceed from_depth ({from_depth})"
+        )
+    if to_depth < 1:
+        raise ValidationError(f"to_depth must be >= 1, got {to_depth}")
+    return deep_bins >> (from_depth - to_depth)
+
+
+def bin_indices_at_depths(
+    x: np.ndarray,
+    r_min: np.ndarray,
+    r_max: np.ndarray,
+    depths: Sequence[int],
+    engine: Optional[KernelEngine] = None,
+) -> dict[int, np.ndarray]:
+    """Bin indices for several depths with one binning pass.
+
+    Computes the deepest requested binning, then derives shallower depths
+    by prefix shifts.
+    """
+    depths = sorted(set(int(d) for d in depths))
+    if not depths:
+        raise ValidationError("depths must be non-empty")
+    deepest = depths[-1]
+    deep = bin_indices(x, r_min, r_max, deepest, engine=engine)
+    return {d: (deep if d == deepest else prefix_bins(deep, deepest, d)) for d in depths}
+
+
+def pack_keys(bins: np.ndarray, depth: int) -> np.ndarray:
+    """Pack per-dimension bin indices into one integer key per point.
+
+    The key is the concatenation of ``depth``-bit bin labels across
+    dimensions (paper's "356406"-style key, in binary). Requires
+    ``depth * n_dims <= 63``; callers with a larger budget should pack the
+    per-dimension *interval* labels instead (they are far fewer).
+    """
+    bins = np.asarray(bins)
+    if bins.ndim != 2:
+        raise ValidationError("pack_keys needs a 2-D (points × dims) array")
+    n_dims = bins.shape[1]
+    total_bits = depth * n_dims
+    if total_bits > _MAX_PACK_BITS:
+        raise ValidationError(
+            f"cannot pack {n_dims} dims × {depth} bits = {total_bits} bits "
+            f"into int64 (max {_MAX_PACK_BITS}); reduce depth or dimensions"
+        )
+    keys = np.zeros(bins.shape[0], dtype=np.int64)
+    for j in range(n_dims):
+        keys <<= depth
+        keys |= bins[:, j].astype(np.int64)
+    return keys
+
+
+def unpack_keys(keys: np.ndarray, depth: int, n_dims: int) -> np.ndarray:
+    """Inverse of :func:`pack_keys`: recover (points × dims) bin indices."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if depth * n_dims > _MAX_PACK_BITS:
+        raise ValidationError("depth * n_dims exceeds the int64 packing budget")
+    mask = (1 << depth) - 1
+    out = np.empty((keys.shape[0], n_dims), dtype=np.int32)
+    for j in range(n_dims - 1, -1, -1):
+        out[:, j] = (keys & mask).astype(np.int32)
+        keys = keys >> depth
+    return out

@@ -1,0 +1,84 @@
+"""Key → cluster-label mapping kernels (paper §3, step 5).
+
+Once the partitioning step has produced per-dimension cut locations, each
+point's bin index maps to a per-dimension *interval* id (which primary
+cluster it falls into along that dimension) via ``searchsorted``; the tuple
+of interval ids across dimensions identifies the global cluster. Interval
+tuples are packed into one integer so global assignment is a vectorized
+``unique``/table lookup, never a pairwise comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.engine import KernelEngine
+
+__all__ = ["intervals_for_bins", "combine_interval_labels"]
+
+
+def intervals_for_bins(
+    bins: np.ndarray,
+    cuts: Sequence[np.ndarray],
+    engine: Optional[KernelEngine] = None,
+) -> np.ndarray:
+    """Map (M × N) bin indices to per-dimension interval ids.
+
+    ``cuts[j]`` is the sorted array of cut positions for dimension ``j``:
+    a bin ``b`` belongs to interval ``searchsorted(cuts[j], b, 'left')``,
+    so a cut at ``c`` separates bins ``<= c`` (left) from bins ``> c``
+    (right) and ``len(cuts[j]) + 1`` intervals exist along dimension ``j``.
+    """
+    bins = np.asarray(bins)
+    if bins.ndim != 2:
+        raise ValidationError("intervals_for_bins needs a 2-D bins array")
+    if len(cuts) != bins.shape[1]:
+        raise ValidationError(
+            f"need one cut array per dimension: {len(cuts)} != {bins.shape[1]}"
+        )
+    cut_arrays = [np.asarray(c, dtype=np.int64) for c in cuts]
+
+    def kernel(block: np.ndarray) -> np.ndarray:
+        out = np.empty(block.shape, dtype=np.int32)
+        for j, c in enumerate(cut_arrays):
+            if c.size == 0:
+                out[:, j] = 0
+            else:
+                out[:, j] = np.searchsorted(c, block[:, j], side="left")
+        return out
+
+    if engine is None:
+        return kernel(bins)
+    return engine.map(kernel, bins, out_shape=bins.shape, out_dtype=np.int32)
+
+
+def combine_interval_labels(
+    intervals: np.ndarray,
+    n_intervals: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse per-dimension interval ids into dense global cluster labels.
+
+    Returns ``(labels, codes)`` where ``labels`` is an (M,) int64 array of
+    dense cluster ids (0..n_clusters-1, ordered by first occurrence of the
+    mixed-radix code) and ``codes`` is the sorted array of occupied
+    mixed-radix codes — the global cluster table that the distributed driver
+    broadcasts so every rank labels consistently.
+    """
+    intervals = np.asarray(intervals)
+    if intervals.ndim != 2:
+        raise ValidationError("combine_interval_labels needs a 2-D array")
+    radices = np.asarray(list(n_intervals), dtype=np.int64)
+    if radices.shape[0] != intervals.shape[1]:
+        raise ValidationError("n_intervals length must match dimensions")
+    if np.any(radices < 1):
+        raise ValidationError("every dimension needs at least one interval")
+    # Mixed-radix packing: code = ((i0 * r1 + i1) * r2 + i2) ...
+    code = np.zeros(intervals.shape[0], dtype=np.int64)
+    for j in range(intervals.shape[1]):
+        code *= radices[j]
+        code += intervals[:, j].astype(np.int64)
+    codes, labels = np.unique(code, return_inverse=True)
+    return labels.astype(np.int64), codes

@@ -1,0 +1,74 @@
+"""Classic external clustering metrics: purity, NMI, ARI.
+
+Complement the paper's pair metrics; all computed from the contingency
+table. Noise predictions (−1) are treated as singletons, consistently with
+:mod:`repro.metrics.pairs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.metrics.pairs import _promote_noise_to_singletons, pair_confusion
+
+__all__ = ["purity", "normalized_mutual_info", "adjusted_rand_index"]
+
+
+def _contingency(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValidationError("labels must be equal-length and non-empty")
+    y_pred = _promote_noise_to_singletons(y_pred)
+    _, t_idx = np.unique(y_true, return_inverse=True)
+    _, p_idx = np.unique(y_pred, return_inverse=True)
+    n_t = int(t_idx.max()) + 1
+    n_p = int(p_idx.max()) + 1
+    flat = p_idx.astype(np.int64) * n_t + t_idx
+    return np.bincount(flat, minlength=n_p * n_t).reshape(n_p, n_t)
+
+
+def purity(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of points whose predicted cluster's majority truth matches."""
+    table = _contingency(y_true, y_pred)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def normalized_mutual_info(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization; in [0, 1]."""
+    table = _contingency(y_true, y_pred).astype(np.float64)
+    m = table.sum()
+    p_joint = table / m
+    p_pred = p_joint.sum(axis=1, keepdims=True)
+    p_true = p_joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_term = np.where(
+            p_joint > 0, np.log(p_joint / (p_pred @ p_true + 1e-300)), 0.0
+        )
+    mi = float(np.sum(p_joint * log_term))
+
+    def entropy(p: np.ndarray) -> float:
+        p = p[p > 0]
+        return float(-np.sum(p * np.log(p)))
+
+    h_pred = entropy(p_pred.ravel())
+    h_true = entropy(p_true.ravel())
+    denom = (h_pred + h_true) / 2.0
+    if denom <= 0:
+        return 1.0  # both partitions trivial and identical
+    return max(0.0, min(1.0, mi / denom))
+
+
+def adjusted_rand_index(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """ARI: chance-corrected rand index in [−1, 1]."""
+    s = pair_confusion(y_true, y_pred)
+    tp, fp, fn, tn = s.tp, s.fp, s.fn, s.tn
+    total = tp + fp + fn + tn
+    if total == 0:
+        return 1.0
+    expected = (tp + fp) * (tp + fn) / total
+    max_index = ((tp + fp) + (tp + fn)) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((tp - expected) / (max_index - expected))

@@ -1,0 +1,54 @@
+"""Frame → feature-vector encoding (paper §5.1).
+
+"Every residue was characterized by the torsion angle phi versus psi and
+omega … we can associate each amino acid residue with one of six types of
+secondary structures." A trajectory frame thus becomes a length-
+``n_residues`` vector of secondary-structure codes — the representation
+KeyBin2 clusters. A one-hot expansion is also provided for algorithms that
+assume continuous geometry (k-means).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.proteins.ramachandran import SecondaryStructure, classify_torsions
+
+__all__ = ["encode_frames", "one_hot_encode"]
+
+N_CLASSES = len(SecondaryStructure)
+
+
+def encode_frames(angles: np.ndarray) -> np.ndarray:
+    """Encode (n_frames × n_residues × 3) torsions as SS-code features.
+
+    Returns an (n_frames × n_residues) float64 matrix of class codes —
+    discrete values, but the *ordering* KeyBin2 bins over is stable because
+    a residue's code only moves when its structure actually changes.
+    """
+    angles = np.asarray(angles, dtype=np.float64)
+    if angles.ndim != 3 or angles.shape[2] != 3:
+        raise ValidationError(
+            "angles must be (n_frames × n_residues × 3 [phi, psi, omega])"
+        )
+    codes = classify_torsions(angles[..., 0], angles[..., 1], angles[..., 2])
+    return codes.astype(np.float64)
+
+
+def one_hot_encode(codes: np.ndarray) -> np.ndarray:
+    """Expand (n_frames × n_residues) codes into (n_frames × n_residues·7).
+
+    One block of 7 indicator columns per residue, ordered by residue.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ValidationError("codes must be (n_frames × n_residues)")
+    int_codes = codes.astype(np.int64)
+    if int_codes.min() < 0 or int_codes.max() >= N_CLASSES:
+        raise ValidationError(f"codes must lie in [0, {N_CLASSES})")
+    n_frames, n_residues = int_codes.shape
+    out = np.zeros((n_frames, n_residues * N_CLASSES), dtype=np.float64)
+    cols = np.arange(n_residues) * N_CLASSES + int_codes
+    out[np.arange(n_frames)[:, None], cols] = 1.0
+    return out

@@ -1,0 +1,127 @@
+"""Torsion-space RMSD and representative-conformation selection (§5.2).
+
+The paper's offline validation computes the root-mean-squared deviation of
+every frame against ``N`` representative conformations "sampled by using a
+power law distribution with respect to the distance to the mean
+conformation." Working in torsion space (our frames *are* torsions), RMSD
+uses the wrapped angular difference so −179° and +179° are 2° apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.proteins.ramachandran import wrap_angle
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["angular_rmsd", "rmsd_time_series", "select_representatives"]
+
+
+def _flat(angles: np.ndarray) -> np.ndarray:
+    angles = np.asarray(angles, dtype=np.float64)
+    if angles.ndim == 3:
+        return angles.reshape(angles.shape[0], -1)
+    if angles.ndim == 2:
+        return angles
+    raise ValidationError("angles must be 2-D or (frames × residues × 3)")
+
+
+def angular_rmsd(frames: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """RMSD (degrees) of every frame to one reference conformation.
+
+    Angular differences are wrapped into (−180, 180] before squaring.
+    """
+    flat = _flat(frames)
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    if ref.shape[0] != flat.shape[1]:
+        raise ValidationError(
+            f"reference length {ref.shape[0]} != frame length {flat.shape[1]}"
+        )
+    diff = wrap_angle(flat - ref)
+    return np.sqrt(np.mean(diff * diff, axis=1))
+
+
+def rmsd_time_series(frames: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """(n_refs × n_frames) RMSD of every frame to every representative."""
+    flat = _flat(frames)
+    refs = _flat(references)
+    if refs.shape[1] != flat.shape[1]:
+        raise ValidationError("references and frames have different widths")
+    out = np.empty((refs.shape[0], flat.shape[0]))
+    for i in range(refs.shape[0]):
+        out[i] = angular_rmsd(flat, refs[i])
+    return out
+
+
+def temporal_smooth(frames: np.ndarray, window: int = 5) -> np.ndarray:
+    """Moving average over the frame axis (reflected ends).
+
+    Thermal noise averages out over a few consecutive frames while the
+    underlying conformation barely moves, so smoothed frames are better
+    anchors for representative selection.
+    """
+    flat = _flat(frames)
+    if window < 1:
+        raise ValidationError("window must be >= 1")
+    half = window // 2
+    if half == 0 or flat.shape[0] <= 1:
+        return flat.copy()
+    half = min(half, flat.shape[0] - 1)
+    padded = np.pad(flat, ((half, half), (0, 0)), mode="reflect")
+    csum = np.cumsum(np.vstack([np.zeros((1, flat.shape[1])), padded]), axis=0)
+    k = 2 * half + 1
+    return (csum[k:] - csum[:-k]) / k
+
+
+def select_representatives(
+    frames: np.ndarray,
+    n: int,
+    power: float = float("inf"),
+    denoise_window: int = 5,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Pick ``n`` *distinct* representative frame indices (paper §5.2).
+
+    The first representative is sampled with probability proportional to
+    ``distance_to_mean_conformation ** power`` (the paper's power-law
+    preference for far-from-average conformations). Each subsequent one is
+    sampled proportional to ``distance_to_nearest_chosen ** power`` — a
+    stochastic farthest-point rule that keeps representatives mutually
+    distinct. Distinctness matters: two representatives of the *same*
+    conformation would split its probability mass in eq. 3 and erase the
+    stability margin of eq. 4.
+    """
+    flat = _flat(frames)
+    m = flat.shape[0]
+    if not (1 <= n <= m):
+        raise ValidationError(f"n must be in [1, {m}], got {n}")
+    if power < 0:
+        raise ValidationError("power must be non-negative")
+    rng = as_generator(seed)
+    smooth = temporal_smooth(flat, denoise_window) if denoise_window > 1 else flat
+    mean_conf = smooth.mean(axis=0)
+    dist = angular_rmsd(smooth, mean_conf)
+
+    def draw(weights: np.ndarray) -> int:
+        if np.isinf(power):
+            # Deterministic farthest-point: guarantees mutually distant
+            # representatives (recommended — duplicate representatives of
+            # one conformation destroy eq. 4's stability margin).
+            return int(np.argmax(weights))
+        w = np.power(np.maximum(weights, 1e-12), power)
+        total = w.sum()
+        if total <= 0:
+            return int(rng.integers(m))
+        return int(rng.choice(m, p=w / total))
+
+    chosen = [draw(dist)]
+    nearest = angular_rmsd(smooth, smooth[chosen[0]])
+    while len(chosen) < n:
+        nearest[chosen] = 0.0  # never re-pick a chosen frame
+        idx = draw(nearest)
+        chosen.append(idx)
+        np.minimum(nearest, angular_rmsd(smooth, smooth[idx]), out=nearest)
+    return np.sort(np.asarray(chosen, dtype=np.int64))

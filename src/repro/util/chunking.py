@@ -1,0 +1,39 @@
+"""Work partitioning helpers for data-parallel execution.
+
+Both the kernel engine (GPU-substitute) and the SPMD drivers split point
+ranges into contiguous chunks; contiguity matters because row-sliced views
+of C-ordered arrays stay cache-friendly and copy-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["chunk_slices", "balanced_counts"]
+
+
+def balanced_counts(total: int, parts: int) -> np.ndarray:
+    """Split ``total`` items into ``parts`` nearly equal integer counts.
+
+    The first ``total % parts`` chunks get one extra item, so counts differ
+    by at most one — the same layout MPI's ``Scatterv`` conventionally uses.
+    """
+    if parts <= 0:
+        raise ValidationError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValidationError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, parts)
+    counts = np.full(parts, base, dtype=np.int64)
+    counts[:extra] += 1
+    return counts
+
+
+def chunk_slices(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Return ``parts`` contiguous ``(start, stop)`` ranges covering ``[0, total)``."""
+    counts = balanced_counts(total, parts)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return [(int(offsets[i]), int(offsets[i + 1])) for i in range(parts)]

@@ -1,0 +1,70 @@
+"""Deterministic random-number handling.
+
+All stochastic code in this library accepts a ``seed`` argument that may be
+``None``, an ``int``, a :class:`numpy.random.SeedSequence`, or an existing
+:class:`numpy.random.Generator`. :func:`as_generator` normalizes these into a
+``Generator``; :func:`spawn_generators` derives independent child streams,
+which is how per-rank and per-bootstrap randomness is kept reproducible and
+uncorrelated in SPMD runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+__all__ = ["SeedLike", "as_generator", "spawn_generators", "seed_sequence_for_rank"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Passing a ``Generator`` returns it unchanged (shared stream); any other
+    value constructs a fresh, independent generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Unlike ``seed + i`` arithmetic, :class:`~numpy.random.SeedSequence`
+    spawning guarantees non-overlapping streams.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        children = seed.spawn(n)
+        return list(children)
+    if isinstance(seed, np.random.SeedSequence):
+        ss = seed
+    else:
+        ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def seed_sequence_for_rank(
+    seed: Union[None, int, np.random.SeedSequence], rank: int, size: int
+) -> np.random.SeedSequence:
+    """Deterministic per-rank seed sequence for SPMD programs.
+
+    Every rank calls this with its own ``rank`` and the common ``seed`` and
+    obtains the same family of sequences, so rank-local data generation is
+    reproducible independently of which executor (threads, processes, MPI)
+    runs the program.
+    """
+    if rank < 0 or rank >= size:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    if isinstance(seed, np.random.SeedSequence):
+        base = seed
+    else:
+        base = np.random.SeedSequence(seed)
+    return base.spawn(size)[rank]

@@ -1,0 +1,85 @@
+"""Lightweight timing utilities used by the benchmark harness.
+
+`perf_counter`-based; a :class:`TimingRegistry` aggregates named sections so
+experiment drivers can report per-phase breakdowns (project / bin / comm /
+partition / assign) the way the paper's complexity analysis slices the
+algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "TimingRegistry"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingRegistry:
+    """Accumulates wall-clock time per named section across repetitions."""
+
+    sections: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+
+    def section(self, name: str) -> "_Section":
+        """Return a context manager that records into section ``name``."""
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.sections[name].append(float(seconds))
+
+    def total(self, name: str) -> float:
+        return float(sum(self.sections.get(name, ())))
+
+    def mean(self, name: str) -> float:
+        vals = self.sections.get(name, ())
+        return float(sum(vals) / len(vals)) if vals else 0.0
+
+    def names(self) -> Iterator[str]:
+        return iter(self.sections)
+
+    def summary(self) -> Dict[str, float]:
+        """Total seconds per section, sorted descending."""
+        totals = {name: self.total(name) for name in self.sections}
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def clear(self) -> None:
+        self.sections.clear()
+
+
+class _Section:
+    def __init__(self, registry: TimingRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,123 @@
+"""Tests for k-means++."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeans, kmeans_plus_plus_init, lloyd_iteration
+from repro.errors import NotFittedError, ValidationError
+from repro.metrics.external import adjusted_rand_index
+
+
+class TestInit:
+    def test_k_centers_selected(self, rng):
+        x = rng.random((50, 3))
+        centers = kmeans_plus_plus_init(x, 5, rng)
+        assert centers.shape == (5, 3)
+
+    def test_centers_are_data_points(self, rng):
+        x = rng.random((30, 2))
+        centers = kmeans_plus_plus_init(x, 3, rng)
+        for c in centers:
+            assert np.any(np.all(np.isclose(x, c), axis=1))
+
+    def test_spread_seeding_prefers_far_points(self, rng):
+        """With two tight far-apart blobs, the 2 seeds must land one per
+        blob essentially always."""
+        a = rng.normal(0, 0.01, (100, 2))
+        b = rng.normal(100, 0.01, (100, 2))
+        x = np.concatenate([a, b])
+        hits = 0
+        for s in range(20):
+            r = np.random.default_rng(s)
+            centers = kmeans_plus_plus_init(x, 2, r)
+            sides = centers[:, 0] > 50
+            hits += sides[0] != sides[1]
+        assert hits >= 19
+
+    def test_k_exceeds_points(self, rng):
+        with pytest.raises(ValidationError):
+            kmeans_plus_plus_init(rng.random((3, 2)), 4, rng)
+
+    def test_duplicate_points_handled(self, rng):
+        x = np.ones((10, 2))
+        centers = kmeans_plus_plus_init(x, 3, rng)
+        assert centers.shape == (3, 2)
+
+
+class TestLloydIteration:
+    def test_sums_and_counts(self):
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        centers = np.array([[0.5], [10.5]])
+        labels, sums, counts, inertia = lloyd_iteration(x, centers)
+        assert labels.tolist() == [0, 0, 1, 1]
+        assert sums.ravel().tolist() == [1.0, 21.0]
+        assert counts.tolist() == [2, 2]
+        assert inertia == pytest.approx(4 * 0.25)
+
+    def test_inertia_decreases_over_iterations(self, rng):
+        x = rng.random((200, 3))
+        centers = x[:4].copy()
+        prev = np.inf
+        for _ in range(5):
+            labels, sums, counts, inertia = lloyd_iteration(x, centers)
+            assert inertia <= prev + 1e-9
+            prev = inertia
+            nz = counts > 0
+            centers[nz] = sums[nz] / counts[nz, None]
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, tiny_gaussians):
+        x, y = tiny_gaussians
+        km = KMeans(3, seed=0).fit(x)
+        assert adjusted_rand_index(y, km.labels_) > 0.95
+
+    def test_inertia_positive_and_finite(self, tiny_gaussians):
+        x, _ = tiny_gaussians
+        km = KMeans(3, seed=0).fit(x)
+        assert np.isfinite(km.inertia_) and km.inertia_ > 0
+
+    def test_more_inits_never_worse(self, rng):
+        x = rng.random((300, 4))
+        one = KMeans(5, n_init=1, seed=42).fit(x)
+        many = KMeans(5, n_init=8, seed=42).fit(x)
+        assert many.inertia_ <= one.inertia_ + 1e-9
+
+    def test_predict_consistent(self, tiny_gaussians):
+        x, _ = tiny_gaussians
+        km = KMeans(3, seed=1).fit(x)
+        assert np.array_equal(km.predict(x), km.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_k_one(self, rng):
+        x = rng.random((50, 2))
+        km = KMeans(1, seed=0).fit(x)
+        assert np.all(km.labels_ == 0)
+        assert np.allclose(km.cluster_centers_[0], x.mean(axis=0))
+
+    def test_k_equals_n_points(self):
+        x = np.arange(6, dtype=float).reshape(3, 2) * 10
+        km = KMeans(3, seed=0).fit(x)
+        assert np.unique(km.labels_).size == 3
+        assert km.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_reproducible(self, tiny_gaussians):
+        x, _ = tiny_gaussians
+        a = KMeans(3, seed=9).fit(x).labels_
+        b = KMeans(3, seed=9).fit(x).labels_
+        assert np.array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+        with pytest.raises(ValidationError):
+            KMeans(2, n_init=0)
+
+    def test_nan_rejected(self):
+        x = np.ones((10, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            KMeans(2).fit(x)

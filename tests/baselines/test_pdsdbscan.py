@@ -1,0 +1,115 @@
+"""Tests for PDSDBSCAN and the disjoint set."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import DBSCAN
+from repro.baselines.pdsdbscan import DisjointSet, PDSDBSCAN
+from repro.data.gaussians import gaussian_mixture
+from repro.errors import ValidationError
+from repro.metrics.external import adjusted_rand_index
+
+
+class TestDisjointSet:
+    def test_initially_singletons(self):
+        ds = DisjointSet(5)
+        assert len({ds.find(i) for i in range(5)}) == 5
+
+    def test_union_merges(self):
+        ds = DisjointSet(4)
+        ds.union(0, 1)
+        ds.union(2, 3)
+        assert ds.find(0) == ds.find(1)
+        assert ds.find(2) == ds.find(3)
+        assert ds.find(0) != ds.find(2)
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(3)
+        r1 = ds.union(0, 1)
+        r2 = ds.union(0, 1)
+        assert r1 == r2
+
+    def test_transitive_closure(self):
+        ds = DisjointSet(6)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(4, 5)
+        assert ds.find(0) == ds.find(2)
+        assert ds.find(3) != ds.find(0)
+
+    def test_roots_vector(self):
+        ds = DisjointSet(4)
+        ds.union(0, 3)
+        roots = ds.roots()
+        assert roots[0] == roots[3]
+        assert len(np.unique(roots)) == 3
+
+    def test_chain_path_compression(self):
+        n = 100
+        ds = DisjointSet(n)
+        for i in range(n - 1):
+            ds.union(i, i + 1)
+        assert len(np.unique(ds.roots())) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            DisjointSet(-1)
+
+
+class TestPDSDBSCAN:
+    @pytest.fixture(scope="class")
+    def blobs(self):
+        return gaussian_mixture(
+            n_points=900, n_dims=2, n_clusters=3, seed=13, separation=10.0
+        )
+
+    def test_matches_serial_dbscan(self, blobs):
+        x, y = blobs
+        serial = DBSCAN(eps=0.8, min_points=5).fit(x)
+        shards = [x[i::3] for i in range(3)]
+        parallel = PDSDBSCAN(eps=0.8, min_points=5).fit(shards)
+        ys = np.concatenate([y[i::3] for i in range(3)])
+        ari_serial = adjusted_rand_index(y, serial.labels_)
+        ari_parallel = adjusted_rand_index(ys, parallel.concatenated_labels())
+        assert ari_serial > 0.95
+        assert ari_parallel > 0.9
+
+    def test_cross_shard_cluster_merged(self):
+        """A cluster split across shards must get one global label."""
+        rng = np.random.default_rng(0)
+        blob = rng.normal(0, 0.3, (300, 2))
+        shards = [blob[:150], blob[150:]]
+        p = PDSDBSCAN(eps=0.5, min_points=5).fit(shards)
+        labels = p.concatenated_labels()
+        assert p.n_clusters_ == 1
+        assert np.all(labels == labels[0])
+
+    def test_labels_consistent_across_ranks(self, blobs):
+        x, y = blobs
+        shards = [x[i::3] for i in range(3)]
+        p = PDSDBSCAN(eps=0.8, min_points=5).fit(shards)
+        # Points of the same true cluster on different shards share labels.
+        ys = [y[i::3] for i in range(3)]
+        for true_c in range(3):
+            labels_for_c = set()
+            for shard_labels, shard_y in zip(p.labels_, ys):
+                mask = shard_y == true_c
+                got = shard_labels[mask]
+                labels_for_c.update(got[got >= 0].tolist())
+            assert len(labels_for_c) == 1
+
+    def test_noise_stays_noise(self, rng):
+        blob = rng.normal(0, 0.2, (200, 2))
+        outlier = np.array([[99.0, 99.0]])
+        shards = [blob, outlier]
+        p = PDSDBSCAN(eps=0.5, min_points=5).fit(shards)
+        assert p.labels_[1][0] == -1
+
+    def test_single_shard(self, blobs):
+        x, y = blobs
+        p = PDSDBSCAN(eps=0.8, min_points=5).fit([x])
+        assert adjusted_rand_index(y, p.labels_[0]) > 0.95
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValidationError):
+            PDSDBSCAN(eps=0.0)

@@ -1,0 +1,38 @@
+"""Tests for the CLI front-end (cheap subcommands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Number of residues" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "KeyBin2" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_scale_argument_parsed(self, capsys):
+        assert main(["table3", "--scale", "0.5"]) == 0
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("table1", "fig4", "comm-volume", "scaling"):
+            assert name in out

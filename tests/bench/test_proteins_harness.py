@@ -1,0 +1,46 @@
+"""Tests for the protein-experiment result containers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments_proteins import Fig3Result, Fig4Result
+from repro.insitu.pipeline import InSituPipeline
+from repro.proteins.trajectory import TrajectorySimulator
+
+
+class TestFig3Result:
+    def _result(self):
+        res = Fig3Result()
+        res.rows.append({"name": "a", "n_frames": 100, "n_residues": 10,
+                         "keybin2_time": 0.5, "kmeans_time": 0.1,
+                         "dbscan_time": 1.0, "keybin2_clusters": 4})
+        res.rows.append({"name": "b", "n_frames": 300, "n_residues": 20,
+                         "keybin2_time": 1.5, "kmeans_time": 0.3,
+                         "dbscan_time": None, "keybin2_clusters": 6})
+        return res
+
+    def test_totals(self):
+        totals = self._result().totals()
+        assert totals["keybin2_time"] == pytest.approx(2.0)
+        assert totals["dbscan_time"] == pytest.approx(1.0)  # None skipped
+
+    def test_per_frame(self):
+        per = self._result().per_frame()
+        assert per["keybin2_time"] == pytest.approx(2.0 / 400)
+
+    def test_render_contains_dash_for_skipped(self):
+        out = self._result().render()
+        assert "—" in out
+        assert "Figure 3" in out
+
+
+class TestFig4Result:
+    def test_render_narrow_width(self):
+        traj = TrajectorySimulator(16, 400, n_phases=3, seed=1).simulate()
+        res = InSituPipeline(seed=1).run(traj)
+        fig = Fig4Result(name="tiny", result=res, n_frames=traj.n_frames,
+                         phase_ids=traj.phase_ids)
+        out = fig.render(width=40)
+        lines = out.splitlines()
+        assert any(len(l) <= 41 for l in lines)
+        assert "tiny" in out

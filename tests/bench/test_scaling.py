@@ -1,0 +1,49 @@
+"""Tests for the complexity-verification harness (C2)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.scaling import loglog_slope, run_scaling
+from repro.errors import ValidationError
+
+
+class TestLogLogSlope:
+    def test_linear_data_slope_one(self):
+        xs = [10, 100, 1000]
+        ys = [5, 50, 500]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_quadratic_data_slope_two(self):
+        xs = [10, 100, 1000]
+        ys = [1, 100, 10000]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_constant_data_slope_zero(self):
+        assert loglog_slope([1, 10, 100], [7, 7, 7]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValidationError):
+            loglog_slope([1, 2], [0, 1])
+
+
+class TestRunScaling:
+    def test_small_run_shape(self):
+        res = run_scaling(
+            m_values=(1_000, 4_000), n_values=(16, 64),
+            fixed_n=16, fixed_m=1_000, repeats=1,
+        )
+        assert len(res.m_sweep) == 2
+        assert len(res.n_sweep) == 2
+        assert np.isfinite(res.m_slope)
+        assert "C2" in res.render()
+
+    def test_m_slope_at_most_linearish(self):
+        """The headline claim: growth in M is at most ~linear (slope ≤ 1.2
+        with measurement noise); it must certainly not look quadratic."""
+        res = run_scaling(
+            m_values=(2_000, 8_000, 32_000), n_values=(16,),
+            fixed_n=16, fixed_m=2_000, repeats=2,
+        )
+        assert res.m_slope < 1.3

@@ -1,0 +1,181 @@
+"""Collective semantics on the thread executor (the reference backend)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ReduceOp, run_spmd
+from repro.errors import CommError
+
+
+def _run(fn, size, **kw):
+    return run_spmd(fn, size, executor="thread", timeout=30, **kw)
+
+
+class TestBcast:
+    def test_root_value_everywhere(self):
+        def prog(comm):
+            payload = {"v": 42} if comm.rank == 0 else None
+            return comm.bcast(payload, root=0)["v"]
+
+        assert _run(prog, 4) == [42, 42, 42, 42]
+
+    def test_nonzero_root(self):
+        def prog(comm):
+            payload = comm.rank if comm.rank == 2 else None
+            return comm.bcast(payload, root=2)
+
+        assert _run(prog, 4) == [2, 2, 2, 2]
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            arr = np.arange(8) if comm.rank == 0 else None
+            return comm.bcast(arr, root=0).sum()
+
+        assert _run(prog, 3) == [28, 28, 28]
+
+    def test_invalid_root(self):
+        def prog(comm):
+            return comm.bcast(1, root=99)
+
+        with pytest.raises(Exception):
+            _run(prog, 2)
+
+
+class TestScatterGather:
+    def test_scatter_distributes(self):
+        def prog(comm):
+            objs = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert _run(prog, 4) == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(Exception):
+            _run(prog, 3)
+
+    def test_gather_collects_in_rank_order(self):
+        def prog(comm):
+            return comm.gather(comm.rank * comm.rank, root=0)
+
+        results = _run(prog, 4)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None and results[3] is None
+
+    def test_allgather_everywhere(self):
+        def prog(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        assert _run(prog, 3) == [["a", "b", "c"]] * 3
+
+
+class TestReduce:
+    def test_sum_scalar(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert _run(prog, 4) == [10] * 4
+
+    def test_sum_array(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, comm.rank, dtype=float)).tolist()
+
+        assert _run(prog, 3) == [[3.0, 3.0, 3.0]] * 3
+
+    def test_max_min(self):
+        def prog(comm):
+            return (
+                comm.allreduce(comm.rank, op=ReduceOp.MAX),
+                comm.allreduce(comm.rank, op=ReduceOp.MIN),
+            )
+
+        assert _run(prog, 5) == [(4, 0)] * 5
+
+    def test_prod(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1, op=ReduceOp.PROD)
+
+        assert _run(prog, 4) == [24] * 4
+
+    def test_custom_callable_rank_ordered(self):
+        # Non-commutative fold: string concatenation must follow rank order.
+        def prog(comm):
+            return comm.allreduce(str(comm.rank), op=lambda a, b: a + b)
+
+        assert _run(prog, 4) == ["0123"] * 4
+
+    def test_reduce_only_at_root(self):
+        def prog(comm):
+            return comm.reduce(comm.rank, root=1)
+
+        results = _run(prog, 3)
+        assert results[1] == 3
+        assert results[0] is None and results[2] is None
+
+    def test_allreduce_equals_composed(self):
+        """allreduce must agree with gather + fold + bcast."""
+
+        def prog(comm):
+            fast = comm.allreduce(np.array([comm.rank, 1.0]))
+            gathered = comm.allgather(np.array([comm.rank, 1.0]))
+            slow = np.sum(gathered, axis=0)
+            return bool(np.allclose(fast, slow))
+
+        assert all(_run(prog, 4))
+
+
+class TestAlltoall:
+    def test_personalized_exchange(self):
+        def prog(comm):
+            objs = [(comm.rank, j) for j in range(comm.size)]
+            received = comm.alltoall(objs)
+            return received == [(j, comm.rank) for j in range(comm.size)]
+
+        assert all(_run(prog, 5))
+
+    def test_wrong_length_rejected(self):
+        def prog(comm):
+            return comm.alltoall([1])
+
+        with pytest.raises(Exception):
+            _run(prog, 3)
+
+
+class TestBarrierAndMisc:
+    def test_barrier_completes(self):
+        def prog(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(_run(prog, 6))
+
+    def test_split_range_partitions(self):
+        def prog(comm):
+            return comm.split_range(103)
+
+        slices = _run(prog, 4)
+        assert slices[0][0] == 0
+        assert slices[-1][1] == 103
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 == b0
+
+    def test_sendrecv_ring_shift(self):
+        def prog(comm):
+            dest = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=dest, source=src)
+
+        assert _run(prog, 4) == [3, 0, 1, 2]
+
+    def test_size_one_trivial(self):
+        def prog(comm):
+            comm.barrier()
+            assert comm.allreduce(5) == 5
+            assert comm.allgather("x") == ["x"]
+            return comm.bcast("y")
+
+        assert _run(prog, 1) == ["y"]

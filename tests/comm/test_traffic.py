@@ -1,0 +1,87 @@
+"""Traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.comm.traffic import TrafficStats, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_ndarray_nbytes(self):
+        arr = np.zeros(10, dtype=np.float64)
+        assert payload_nbytes(arr) == 80
+
+    def test_bytes_length(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_none_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_scalar_flat_cost(self):
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(3.14) == 8
+
+    def test_object_pickle_length_positive(self):
+        assert payload_nbytes({"a": [1, 2, 3]}) > 0
+
+
+class TestTrafficStats:
+    def test_record_and_totals(self):
+        t = TrafficStats()
+        t.record_send(1, 100)
+        t.record_send(2, 50)
+        t.record_recv(1, 25)
+        assert t.messages_sent == 2
+        assert t.bytes_sent == 150
+        assert t.messages_received == 1
+        assert t.bytes_received == 25
+        assert t.by_peer_sent == {1: 100, 2: 50}
+
+    def test_reset(self):
+        t = TrafficStats()
+        t.record_send(0, 10)
+        t.reset()
+        assert t.bytes_sent == 0 and t.by_peer_sent == {}
+
+    def test_add_merges(self):
+        a = TrafficStats()
+        b = TrafficStats()
+        a.record_send(1, 10)
+        b.record_send(1, 5)
+        b.record_recv(0, 7)
+        merged = a + b
+        assert merged.bytes_sent == 15
+        assert merged.by_peer_sent == {1: 15}
+        assert merged.bytes_received == 7
+
+    def test_snapshot_keys(self):
+        snap = TrafficStats().snapshot()
+        assert set(snap) == {
+            "messages_sent", "messages_received", "bytes_sent", "bytes_received"
+        }
+
+
+class TestTrafficIntegration:
+    def test_collectives_counted(self):
+        def prog(comm):
+            comm.allreduce(np.zeros(100))
+            return comm.traffic.bytes_sent
+
+        results = run_spmd(prog, 4, executor="thread", timeout=20)
+        # Every rank but possibly the root sends at least its 800-byte buffer.
+        assert all(b >= 800 for b in results[1:])
+
+    def test_histogram_payload_dominates(self):
+        """The dominant traffic of a distributed fit must be the histograms
+        (the paper's communication claim, sanity level)."""
+
+        def prog(comm):
+            buf = np.zeros(1 << 12, dtype=np.int64)  # 32 KiB histogram
+            comm.allreduce(buf)
+            comm.bcast([1, 2, 3], root=0)  # small control message
+            return comm.traffic.bytes_sent
+
+        results = run_spmd(prog, 3, executor="thread", timeout=20)
+        for nbytes in results[1:]:
+            assert nbytes >= (1 << 12) * 8

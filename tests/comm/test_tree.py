@@ -1,0 +1,103 @@
+"""Tree collectives must agree with the linear reference versions."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ReduceOp, run_spmd
+from repro.comm.tree import tree_allreduce, tree_barrier, tree_bcast, tree_reduce
+
+
+def _run(fn, size):
+    return run_spmd(fn, size, executor="thread", timeout=30)
+
+
+class TestTreeBcast:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 11])
+    def test_matches_linear(self, size):
+        def prog(comm):
+            payload = {"data": list(range(10))} if comm.rank == 0 else None
+            return tree_bcast(comm, payload, root=0)
+
+        results = _run(prog, size)
+        assert all(r == {"data": list(range(10))} for r in results)
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        size = 5
+
+        def prog(comm):
+            payload = "from-root" if comm.rank == root else None
+            return tree_bcast(comm, payload, root=root)
+
+        assert _run(prog, size) == ["from-root"] * size
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            arr = np.arange(50) if comm.rank == 0 else None
+            return int(tree_bcast(comm, arr, root=0).sum())
+
+        assert _run(prog, 6) == [1225] * 6
+
+    def test_message_rounds_logarithmic(self):
+        """Root sends ⌈log2 K⌉ messages, not K − 1."""
+
+        def prog(comm):
+            tree_bcast(comm, "x", root=0)
+            return comm.traffic.messages_sent
+
+        results = _run(prog, 8)
+        assert results[0] == 3  # log2(8)
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+    def test_sum_matches_linear(self, size):
+        def prog(comm):
+            tree = tree_reduce(comm, comm.rank + 1, root=0)
+            linear = comm.reduce(comm.rank + 1, root=0)
+            return (tree, linear)
+
+        results = _run(prog, size)
+        assert results[0][0] == results[0][1] == size * (size + 1) // 2
+        for tree, linear in results[1:]:
+            assert tree is None and linear is None
+
+    def test_array_sum(self):
+        def prog(comm):
+            out = tree_reduce(comm, np.full(4, float(comm.rank)), root=0)
+            return None if out is None else out.tolist()
+
+        results = _run(prog, 5)
+        assert results[0] == [10.0] * 4
+
+    def test_max_op(self):
+        def prog(comm):
+            return tree_reduce(comm, comm.rank, op=ReduceOp.MAX, root=0)
+
+        assert _run(prog, 6)[0] == 5
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_nonzero_root(self, root):
+        def prog(comm):
+            return tree_reduce(comm, 1, root=root)
+
+        results = _run(prog, 4)
+        assert results[root] == 4
+
+
+class TestTreeAllreduceBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 6, 9])
+    def test_allreduce_everywhere(self, size):
+        def prog(comm):
+            return tree_allreduce(comm, np.array([comm.rank + 1.0]))[0]
+
+        expected = float(size * (size + 1) // 2)
+        assert _run(prog, size) == [expected] * size
+
+    def test_barrier_completes(self):
+        def prog(comm):
+            for _ in range(3):
+                tree_barrier(comm)
+            return True
+
+        assert all(_run(prog, 7))

@@ -1,0 +1,153 @@
+"""Tests for the optional/extension features: simultaneous projections
+(§3.4), the KDE partitioner alternative (§3.2), and the privacy utilities
+(§1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KeyBin2
+from repro.core.binning import SpaceRange
+from repro.core.partitioning import find_cuts, kde_density
+from repro.core.privacy import histogram_anonymity, reconstruction_ambiguity
+from repro.errors import ValidationError
+from repro.metrics.pairs import pair_precision_recall_f1
+
+
+class TestSimultaneousProjections:
+    def test_identical_results(self, small_gaussians):
+        """§3.4's optimization must change throughput, not outcomes."""
+        x, _ = small_gaussians
+        a = KeyBin2(n_projections=4, seed=3).fit(x)
+        b = KeyBin2(n_projections=4, seed=3, simultaneous_projections=True).fit(x)
+        assert np.array_equal(a.labels_, b.labels_)
+        assert a.score_ == pytest.approx(b.score_)
+        assert a.n_clusters_ == b.n_clusters_
+
+    def test_noop_with_projection_none(self, tiny_gaussians):
+        x, _ = tiny_gaussians
+        kb = KeyBin2(projection="none", simultaneous_projections=True,
+                     seed=0).fit(x)
+        assert kb.model_.projection is None
+
+    def test_accuracy_preserved(self, small_gaussians):
+        x, y = small_gaussians
+        kb = KeyBin2(seed=1, simultaneous_projections=True).fit(x)
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        assert f1 > 0.9
+
+
+class TestKDEPartitioner:
+    def _bimodal(self, rng):
+        vals = np.concatenate([rng.normal(16, 3, 1500), rng.normal(48, 3, 1500)])
+        return np.bincount(np.clip(vals.astype(int), 0, 63), minlength=64).astype(float)
+
+    def test_kde_density_mass_preserved(self, rng):
+        counts = self._bimodal(rng)
+        dens = kde_density(counts)
+        assert dens.sum() == pytest.approx(counts.sum(), rel=1e-6)
+
+    def test_kde_density_smooth(self, rng):
+        counts = self._bimodal(rng)
+        dens = kde_density(counts)
+        # Smoother = smaller second differences than the raw counts.
+        assert np.abs(np.diff(dens, 2)).mean() < np.abs(np.diff(counts, 2)).mean()
+
+    def test_kde_cuts_match_ma_cuts_on_clean_data(self, rng):
+        counts = self._bimodal(rng)
+        ma = find_cuts(counts, n_points=3000, smoother="ma")
+        kde = find_cuts(counts, n_points=3000, smoother="kde")
+        assert ma.size == kde.size == 1
+        assert abs(int(ma[0]) - int(kde[0])) <= 6
+
+    def test_kde_unimodal_no_cut(self, rng):
+        vals = rng.normal(32, 5, 3000)
+        counts = np.bincount(np.clip(vals.astype(int), 0, 63), minlength=64).astype(float)
+        assert find_cuts(counts, n_points=3000, smoother="kde").size == 0
+
+    def test_kde_empty_histogram(self):
+        assert kde_density(np.zeros(16)).sum() == 0.0
+
+    def test_estimator_accepts_kde(self, small_gaussians):
+        x, y = small_gaussians
+        kb = KeyBin2(seed=0, smoother="kde", n_projections=3).fit(x)
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        assert f1 > 0.85
+
+    def test_invalid_smoother(self):
+        with pytest.raises(ValidationError):
+            KeyBin2(smoother="wavelet")
+        with pytest.raises(ValidationError):
+            find_cuts(np.ones(8), smoother="loess")
+
+
+class TestPrivacyUtilities:
+    def test_reconstruction_ambiguity_is_bin_width(self):
+        space = SpaceRange(np.array([0.0, -10.0]), np.array([1.0, 10.0]))
+        amb = reconstruction_ambiguity(space, depth=4)
+        assert amb.tolist() == [1.0 / 16, 20.0 / 16]
+
+    def test_deeper_bins_less_ambiguity(self):
+        space = SpaceRange(np.zeros(1), np.ones(1))
+        assert reconstruction_ambiguity(space, 6)[0] < reconstruction_ambiguity(space, 3)[0]
+
+    def test_ambiguity_never_zero(self):
+        space = SpaceRange(np.zeros(1), np.ones(1))
+        assert reconstruction_ambiguity(space, 31)[0] > 0
+
+    def test_anonymity_stats(self):
+        counts = np.array([[0, 5, 1, 10]])
+        stats = histogram_anonymity(counts)
+        assert stats["min_occupancy"] == 1.0
+        assert stats["singleton_fraction"] == pytest.approx(1 / 3)
+
+    def test_anonymity_empty(self):
+        stats = histogram_anonymity(np.zeros((2, 4)))
+        assert stats["min_occupancy"] == 0.0
+
+    def test_histograms_cannot_distinguish_permutations(self, rng):
+        """The core non-invertibility fact: any within-bin rearrangement of
+        the data produces identical published histograms."""
+        from repro.kernels.histogram import accumulate_histogram
+        from repro.kernels.keys import bin_indices
+
+        x = rng.random((500, 3))
+        space = SpaceRange.from_data(x)
+        bins = bin_indices(x, space.r_min, space.r_max, 4)
+        h1 = accumulate_histogram(bins, 16)
+        # Jitter every point within its bin: histograms must be identical.
+        width = space.span / 16
+        jitter = (rng.random((500, 3)) - 0.5) * width * 0.9
+        centers = space.r_min + (bins + 0.5) * width
+        x2 = centers + jitter
+        bins2 = bin_indices(x2, space.r_min, space.r_max, 4)
+        h2 = accumulate_histogram(bins2, 16)
+        assert np.array_equal(h1, h2)
+        assert not np.allclose(x, x2)  # yet the data is different
+
+
+class TestAutoDepths:
+    def test_resolution_scales_with_m(self):
+        from repro.core.estimator import resolve_depths
+
+        small = resolve_depths("auto", 1_000)
+        paper = resolve_depths("auto", 1_280_000)
+        assert small[-1] <= paper[-1]
+        assert paper == (6, 7, 8, 9)  # B = log2²(1.28M) ≈ 412 → depth 9
+
+    def test_sequences_pass_through(self):
+        from repro.core.estimator import resolve_depths
+
+        assert resolve_depths((3, 5), 10_000) == (3, 5)
+
+    def test_auto_estimator_works(self, small_gaussians):
+        from repro.metrics.pairs import pair_precision_recall_f1
+
+        x, y = small_gaussians
+        kb = KeyBin2(seed=0, candidate_depths="auto").fit(x)
+        _, _, f1 = pair_precision_recall_f1(y, kb.labels_)
+        assert f1 > 0.9
+        assert kb.model_.depth in kb._resolved_depths
+
+    def test_invalid_string(self):
+        with pytest.raises(ValidationError):
+            KeyBin2(candidate_depths="deep")

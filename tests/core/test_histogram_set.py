@@ -1,0 +1,138 @@
+"""Tests for HistogramSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import SpaceRange
+from repro.core.histogram import HistogramSet
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def space2():
+    return SpaceRange(np.zeros(2), np.ones(2))
+
+
+class TestConstruction:
+    def test_from_points_counts(self, rng, space2):
+        x = rng.random((100, 2))
+        h = HistogramSet.from_points(x, space2, depths=[2, 4])
+        assert h.total_count() == 100
+        assert h.counts[2].shape == (2, 4)
+        assert h.counts[4].shape == (2, 16)
+
+    def test_depths_sorted_deduped(self):
+        h = HistogramSet(3, [4, 2, 4])
+        assert h.depths == (2, 4)
+
+    def test_invalid_depths(self):
+        with pytest.raises(ValidationError):
+            HistogramSet(2, [])
+        with pytest.raises(ValidationError):
+            HistogramSet(2, [0])
+        with pytest.raises(ValidationError):
+            HistogramSet(2, [40])
+
+    def test_dim_mismatch_on_update(self, rng, space2):
+        h = HistogramSet(2, [3])
+        with pytest.raises(ValidationError):
+            h.update(rng.random((5, 3)), SpaceRange(np.zeros(3), np.ones(3)))
+
+    def test_empty_batch_noop(self, space2):
+        h = HistogramSet(2, [3])
+        h.update(np.empty((0, 2)), space2)
+        assert h.total_count() == 0
+
+
+class TestStreamingEqualsBatch:
+    def test_incremental_updates(self, rng, space2):
+        x = rng.random((90, 2))
+        batch = HistogramSet.from_points(x, space2, [3, 5])
+        stream = HistogramSet(2, [3, 5])
+        for i in range(0, 90, 13):
+            stream.update(x[i : i + 13], space2)
+        assert stream == batch
+
+    def test_single_point_stream(self, rng, space2):
+        x = rng.random((20, 2))
+        batch = HistogramSet.from_points(x, space2, [4])
+        stream = HistogramSet(2, [4])
+        for row in x:
+            stream.update(row.reshape(1, -1), space2)
+        assert stream == batch
+
+
+class TestMergeAlgebra:
+    def test_merge_adds(self, rng, space2):
+        x = rng.random((60, 2))
+        a = HistogramSet.from_points(x[:30], space2, [3])
+        b = HistogramSet.from_points(x[30:], space2, [3])
+        whole = HistogramSet.from_points(x, space2, [3])
+        assert (a + b) == whole
+
+    def test_merge_commutative(self, rng, space2):
+        a = HistogramSet.from_points(rng.random((30, 2)), space2, [3])
+        b = HistogramSet.from_points(rng.random((40, 2)), space2, [3])
+        assert (a + b) == (b + a)
+
+    def test_merge_associative(self, rng, space2):
+        hs = [
+            HistogramSet.from_points(rng.random((20, 2)), space2, [3])
+            for _ in range(3)
+        ]
+        left = (hs[0] + hs[1]) + hs[2]
+        right = hs[0] + (hs[1] + hs[2])
+        assert left == right
+
+    def test_incompatible_merge_rejected(self, rng, space2):
+        a = HistogramSet(2, [3])
+        b = HistogramSet(2, [4])
+        with pytest.raises(ValidationError):
+            a.merge(b)
+        c = HistogramSet(3, [3])
+        with pytest.raises(ValidationError):
+            a.merge(c)
+
+    def test_add_does_not_mutate(self, rng, space2):
+        a = HistogramSet.from_points(rng.random((10, 2)), space2, [3])
+        before = a.counts[3].copy()
+        _ = a + a
+        assert np.array_equal(a.counts[3], before)
+
+
+class TestWireFormat:
+    def test_buffer_round_trip(self, rng, space2):
+        h = HistogramSet.from_points(rng.random((50, 2)), space2, [2, 5])
+        again = HistogramSet.from_buffer(h.to_buffer(), 2, [2, 5])
+        assert again == h
+
+    def test_buffer_length_formula(self):
+        assert HistogramSet.buffer_length(3, [2, 4]) == 3 * 4 + 3 * 16
+
+    def test_wrong_buffer_length_rejected(self):
+        with pytest.raises(ValidationError):
+            HistogramSet.from_buffer(np.zeros(5, dtype=np.int64), 2, [3])
+
+    def test_nbytes_reported(self, rng, space2):
+        h = HistogramSet.from_points(rng.random((10, 2)), space2, [3])
+        assert h.nbytes() == 2 * 8 * 8  # dims × bins × int64
+
+    def test_add_counts_validation(self):
+        h = HistogramSet(2, [3])
+        with pytest.raises(ValidationError):
+            h.add_counts(4, np.zeros((2, 16), dtype=np.int64))
+        with pytest.raises(ValidationError):
+            h.add_counts(3, np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(ValidationError):
+            h.add_counts(3, np.full((2, 8), -1, dtype=np.int64))
+
+
+class TestDensity:
+    def test_rows_sum_to_one(self, rng, space2):
+        h = HistogramSet.from_points(rng.random((40, 2)), space2, [4])
+        dens = h.density(4)
+        assert np.allclose(dens.sum(axis=1), 1.0)
+
+    def test_empty_histogram_zero_density(self):
+        h = HistogramSet(2, [3])
+        assert np.all(h.density(3) == 0.0)

@@ -1,0 +1,78 @@
+"""Tests for the KeyBin1 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.keybin1 import KeyBin1, threshold_cuts
+from repro.data.correlated import correlated_clusters
+from repro.errors import NotFittedError, ValidationError
+from repro.metrics.external import purity
+
+
+class TestThresholdCuts:
+    def test_two_regions_one_cut(self):
+        counts = np.zeros(32)
+        counts[2:8] = 100
+        counts[20:28] = 80
+        cuts = threshold_cuts(counts, 0.1)
+        assert cuts.size == 1
+        assert 8 <= cuts[0] <= 19
+
+    def test_single_region_no_cut(self):
+        counts = np.zeros(16)
+        counts[4:10] = 50
+        assert threshold_cuts(counts, 0.1).size == 0
+
+    def test_threshold_erases_sparse_cluster(self):
+        """The failure mode KeyBin2 fixes: a small cluster below the
+        threshold vanishes."""
+        counts = np.zeros(64)
+        counts[5:10] = 1000.0  # dominant cluster
+        counts[40:45] = 30.0   # small cluster: 3% of peak
+        with_low = threshold_cuts(counts, density_threshold=0.01)
+        with_high = threshold_cuts(counts, density_threshold=0.05)
+        assert with_low.size == 1
+        assert with_high.size == 0  # small cluster fell below the threshold
+
+    def test_empty_histogram(self):
+        assert threshold_cuts(np.zeros(8)).size == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            threshold_cuts(np.ones(4), 0.0)
+        with pytest.raises(ValidationError):
+            threshold_cuts(np.ones(4), 1.5)
+
+
+class TestKeyBin1:
+    def test_clusters_separated_data(self, tiny_gaussians):
+        x, y = tiny_gaussians
+        kb = KeyBin1(depth=5).fit(x)
+        assert kb.n_clusters_ >= 3
+        assert purity(y, kb.labels_) > 0.9
+
+    def test_fails_on_correlated_clusters(self):
+        """The documented KeyBin1 limitation (paper §1) that motivates
+        KeyBin2."""
+        x, y = correlated_clusters(3000, seed=1)
+        kb = KeyBin1(depth=6).fit(x)
+        assert kb.n_clusters_ == 1  # cannot separate projection overlap
+
+    def test_predict_matches_fit(self, tiny_gaussians):
+        x, _ = tiny_gaussians
+        kb = KeyBin1().fit(x)
+        assert np.array_equal(kb.predict(x), kb.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KeyBin1().predict(np.zeros((2, 2)))
+
+    def test_model_has_no_projection(self, tiny_gaussians):
+        x, _ = tiny_gaussians
+        kb = KeyBin1().fit(x)
+        assert kb.model_.projection is None
+        assert kb.model_.meta["algorithm"] == "keybin1"
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValidationError):
+            KeyBin1(depth=0)

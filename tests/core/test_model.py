@@ -1,0 +1,89 @@
+"""Tests for KeyBin2Model (fitted state, predict, serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KeyBin2, KeyBin2Model
+from repro.errors import NotFittedError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def fitted(small_gaussians):
+    x, y = small_gaussians
+    kb = KeyBin2(n_projections=4, seed=3).fit(x)
+    return kb, x, y
+
+
+class TestModel:
+    def test_predict_matches_fit_labels(self, fitted):
+        kb, x, _ = fitted
+        assert np.array_equal(kb.model_.predict(x), kb.labels_)
+
+    def test_model_size_independent_of_points(self, fitted):
+        """The fitted model must be histogram-scale, not data-scale."""
+        kb, x, _ = fitted
+        d = kb.model_.to_dict()
+        n_numbers = sum(
+            np.asarray(v).size
+            for v in (d["r_min"], d["r_max"], d["codes"], d["kept_dims"])
+        )
+        n_numbers += sum(len(c) for c in d["cuts"])
+        if d["projection"] is not None:
+            n_numbers += np.asarray(d["projection"]).size
+        assert n_numbers < x.shape[0]  # far smaller than the training set
+
+    def test_dict_round_trip(self, fitted):
+        kb, x, _ = fitted
+        again = KeyBin2Model.from_dict(kb.model_.to_dict())
+        assert np.array_equal(again.predict(x), kb.model_.predict(x))
+        assert again.n_clusters == kb.model_.n_clusters
+        assert again.score == kb.model_.score
+
+    def test_dict_is_json_serializable(self, fitted):
+        import json
+
+        kb, _, _ = fitted
+        text = json.dumps(kb.model_.to_dict())
+        again = KeyBin2Model.from_dict(json.loads(text))
+        assert again.depth == kb.model_.depth
+
+    def test_predict_unseen_region_is_noise(self, fitted):
+        kb, x, _ = fitted
+        far = np.full((3, x.shape[1]), 1e6)
+        labels = kb.model_.predict(far)
+        # A far point either clips into an existing boundary cell or is a
+        # novel cell (−1); it must never crash or invent labels.
+        assert np.all(labels < kb.model_.n_clusters)
+
+    def test_wrong_feature_count_rejected(self, fitted):
+        kb, x, _ = fitted
+        with pytest.raises(ValidationError):
+            kb.model_.predict(np.zeros((2, x.shape[1] + 1)))
+
+    def test_nan_rejected(self, fitted):
+        kb, x, _ = fitted
+        bad = x[:2].copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            kb.model_.predict(bad)
+
+    def test_transform_shape(self, fitted):
+        kb, x, _ = fitted
+        projected = kb.model_.transform(x[:10])
+        assert projected.shape == (10, kb.model_.n_projected_dims)
+
+
+class TestModelFileRoundTrip:
+    def test_save_load(self, fitted, tmp_path):
+        kb, x, _ = fitted
+        path = tmp_path / "model.json"
+        kb.model_.save(path)
+        again = KeyBin2Model.load(path)
+        assert np.array_equal(again.predict(x), kb.model_.predict(x))
+
+    def test_file_is_small(self, fitted, tmp_path):
+        """A model file must stay in the KB range — broadcastable."""
+        kb, x, _ = fitted
+        path = tmp_path / "model.json"
+        kb.model_.save(path)
+        assert path.stat().st_size < 64 * 1024

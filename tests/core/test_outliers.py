@@ -1,0 +1,78 @@
+"""Tests for key-space outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import KeyBin2
+from repro.core.outliers import KeyOutlierDetector
+from repro.data.gaussians import gaussian_mixture
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def fitted_detector():
+    x, y = gaussian_mixture(4000, 16, n_clusters=3, seed=9)
+    kb = KeyBin2(seed=9, n_projections=4).fit(x)
+    return KeyOutlierDetector(kb.model_, contamination=0.02), kb, x, y
+
+
+class TestKeyOutlierDetector:
+    def test_far_points_flagged(self, fitted_detector):
+        det, kb, x, _ = fitted_detector
+        far = np.full((5, x.shape[1]), 500.0)
+        assert det.predict(far).all()
+        assert np.all(det.score(far) == det.unseen_score)
+
+    def test_cluster_centers_not_flagged(self, fitted_detector):
+        det, kb, x, y = fitted_detector
+        # Dense-cluster members: low scores, below threshold mostly.
+        flagged = det.predict(x)
+        assert flagged.mean() < 0.1
+
+    def test_scores_monotone_in_rarity(self, fitted_detector):
+        det, kb, x, _ = fitted_detector
+        scores = det.score(x)
+        labels = kb.model_.predict(x)
+        sizes = kb.model_.table.sizes
+        # Points in the largest cell must score <= points in the smallest.
+        big_cell = int(np.argmax(sizes))
+        small_cell = int(np.argmin(sizes))
+        if big_cell != small_cell:
+            s_big = scores[labels == big_cell]
+            s_small = scores[labels == small_cell]
+            if s_big.size and s_small.size:
+                assert s_big.max() <= s_small.min() + 1e-9
+
+    def test_training_flag_rate_near_contamination(self, fitted_detector):
+        det, kb, x, _ = fitted_detector
+        rate = det.predict(x).mean()
+        assert rate <= 0.1  # quantile thresholding keeps the rate bounded
+
+    def test_threshold_quantiles_monotone(self, fitted_detector):
+        det, _, _, _ = fitted_detector
+        assert det.score_threshold(0.5) <= det.score_threshold(0.99)
+
+    def test_invalid_contamination(self, fitted_detector):
+        det, kb, _, _ = fitted_detector
+        with pytest.raises(ValidationError):
+            KeyOutlierDetector(kb.model_, contamination=0.0)
+        with pytest.raises(ValidationError):
+            KeyOutlierDetector(kb.model_, contamination=0.9)
+
+    def test_invalid_quantile(self, fitted_detector):
+        det, _, _, _ = fitted_detector
+        with pytest.raises(ValidationError):
+            det.score_threshold(1.0)
+
+    def test_injected_anomalies_ranked_highest(self):
+        rng = np.random.default_rng(4)
+        x, _ = gaussian_mixture(3000, 8, n_clusters=3, seed=4)
+        kb = KeyBin2(seed=4, n_projections=4).fit(x)
+        det = KeyOutlierDetector(kb.model_)
+        anomalies = rng.uniform(-100, 100, (20, 8))
+        mixed = np.vstack([x[:200], anomalies])
+        scores = det.score(mixed)
+        top = np.argsort(scores)[::-1][:20]
+        # Most of the top-20 scores must be the injected anomalies (a few
+        # may fall inside occupied cells — uniform noise overlaps the data).
+        assert np.mean(top >= 200) >= 0.75

@@ -1,0 +1,101 @@
+"""Tests for primary partitions and the global cluster table."""
+
+import numpy as np
+import pytest
+
+from repro.core.primary import GlobalClusterTable, PrimaryPartition
+from repro.errors import ValidationError
+
+
+class TestPrimaryPartition:
+    def test_n_intervals(self):
+        p = PrimaryPartition(4, [np.array([3, 7]), np.empty(0, np.int64)])
+        assert p.n_intervals.tolist() == [3, 1]
+        assert p.n_cells == 3
+
+    def test_cuts_validated(self):
+        with pytest.raises(ValidationError):
+            PrimaryPartition(3, [np.array([7])])  # cut at last bin edge
+        with pytest.raises(ValidationError):
+            PrimaryPartition(3, [np.array([-1])])
+        with pytest.raises(ValidationError):
+            PrimaryPartition(3, [np.array([2, 2])])  # non-increasing
+
+    def test_intervals_for_shape_check(self):
+        p = PrimaryPartition(3, [np.array([3])])
+        with pytest.raises(ValidationError):
+            p.intervals_for(np.zeros((4, 2), dtype=np.int32))
+
+    def test_cell_codes_decode_round_trip(self, rng):
+        p = PrimaryPartition(
+            5, [np.array([10, 20]), np.array([15]), np.empty(0, np.int64)]
+        )
+        iv = np.stack(
+            [
+                rng.integers(0, 3, 50),
+                rng.integers(0, 2, 50),
+                rng.integers(0, 1, 50),
+            ],
+            axis=1,
+        )
+        codes = p.cell_codes(iv)
+        decoded = p.decode_cells(np.unique(codes))
+        # Every decoded row must correspond to one of the original rows.
+        orig = {tuple(r) for r in iv}
+        for row in decoded:
+            assert tuple(row) in orig
+
+    def test_codes_injective(self, rng):
+        p = PrimaryPartition(4, [np.array([5]), np.array([3, 9])])
+        iv = np.stack([rng.integers(0, 2, 100), rng.integers(0, 3, 100)], axis=1)
+        codes = p.cell_codes(iv)
+        uniq_rows = np.unique(iv, axis=0).shape[0]
+        assert np.unique(codes).size == uniq_rows
+
+
+class TestGlobalClusterTable:
+    def test_from_points(self):
+        codes = np.array([5, 3, 5, 9, 3, 3])
+        t = GlobalClusterTable.from_points(codes)
+        assert t.codes.tolist() == [3, 5, 9]
+        assert t.sizes.tolist() == [3, 2, 1]
+        assert t.n_clusters == 3
+
+    def test_lookup_dense_labels(self):
+        t = GlobalClusterTable.from_points(np.array([10, 20, 10]))
+        labels = t.lookup(np.array([10, 20, 30]))
+        assert labels.tolist() == [0, 1, -1]
+
+    def test_lookup_empty_table(self):
+        t = GlobalClusterTable(np.empty(0, dtype=np.int64))
+        assert t.lookup(np.array([1, 2])).tolist() == [-1, -1]
+
+    def test_lookup_value_below_first_code(self):
+        t = GlobalClusterTable(np.array([5, 9]))
+        assert t.lookup(np.array([1])).tolist() == [-1]
+
+    def test_merge_union_and_sizes(self):
+        a = GlobalClusterTable.from_points(np.array([1, 1, 2]))
+        b = GlobalClusterTable.from_points(np.array([2, 3]))
+        merged = a.merge(b)
+        assert merged.codes.tolist() == [1, 2, 3]
+        assert merged.sizes.tolist() == [2, 2, 1]
+
+    def test_merge_with_empty(self):
+        a = GlobalClusterTable.from_points(np.array([4]))
+        empty = GlobalClusterTable(np.empty(0, dtype=np.int64))
+        assert a.merge(empty).codes.tolist() == [4]
+        assert empty.merge(a).codes.tolist() == [4]
+
+    def test_unsorted_codes_sorted(self):
+        t = GlobalClusterTable(np.array([9, 3, 5]), np.array([1, 2, 3]))
+        assert t.codes.tolist() == [3, 5, 9]
+        assert t.sizes.tolist() == [2, 3, 1]
+
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(ValidationError):
+            GlobalClusterTable(np.array([3, 3]))
+
+    def test_sizes_alignment_checked(self):
+        with pytest.raises(ValidationError):
+            GlobalClusterTable(np.array([1, 2]), np.array([1]))

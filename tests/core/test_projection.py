@@ -1,0 +1,94 @@
+"""Tests for repro.core.projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.projection import projection_matrix, target_dimension
+from repro.errors import ValidationError
+
+
+class TestTargetDimension:
+    def test_paper_rule(self):
+        # 1.5 ln(1280) ≈ 10.7 → 11
+        assert target_dimension(1280) == math.ceil(1.5 * math.log(1280))
+
+    def test_minimum_enforced(self):
+        assert target_dimension(2) >= 2
+
+    def test_never_exceeds_features(self):
+        assert target_dimension(3) <= 3
+
+    def test_monotone_in_features(self):
+        dims = [target_dimension(n) for n in (4, 16, 64, 256, 1024)]
+        assert dims == sorted(dims)
+
+    def test_custom_factor(self):
+        assert target_dimension(100, factor=3.0) >= target_dimension(100)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            target_dimension(0)
+        with pytest.raises(ValidationError):
+            target_dimension(10, factor=0)
+
+
+class TestProjectionMatrix:
+    @pytest.mark.parametrize("kind", ["gaussian", "sparse", "orthonormal"])
+    def test_shape(self, kind):
+        a = projection_matrix(20, 5, seed=0, kind=kind)
+        assert a.shape == (20, 5)
+
+    @pytest.mark.parametrize("kind", ["gaussian", "sparse", "orthonormal"])
+    def test_unit_columns(self, kind):
+        a = projection_matrix(50, 7, seed=1, kind=kind)
+        norms = np.linalg.norm(a, axis=0)
+        assert np.allclose(norms, 1.0)
+
+    def test_orthonormal_columns_orthogonal(self):
+        a = projection_matrix(30, 6, seed=2, kind="orthonormal")
+        gram = a.T @ a
+        assert np.allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_gaussian_nearly_orthogonal_high_dim(self):
+        a = projection_matrix(2000, 8, seed=3, kind="gaussian")
+        gram = a.T @ a
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() < 0.15
+
+    def test_sparse_entries_ternary(self):
+        a = projection_matrix(100, 4, seed=4, kind="sparse")
+        scaled = a * np.linalg.norm(a, axis=0, keepdims=True)
+        # Before normalization entries were in {-1, 0, +1}; after
+        # normalization each column has at most 3 distinct values.
+        for j in range(4):
+            assert np.unique(np.round(a[:, j], 12)).size <= 3
+
+    def test_reproducible(self):
+        a = projection_matrix(10, 3, seed=5)
+        b = projection_matrix(10, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_distinct_matrices(self):
+        a = projection_matrix(10, 3, seed=5)
+        b = projection_matrix(10, 3, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_components_exceed_features_rejected(self):
+        with pytest.raises(ValidationError):
+            projection_matrix(3, 4)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            projection_matrix(4, 2, kind="fourier")
+
+    def test_projection_preserves_order_along_column(self, rng):
+        """Points ordered along a projection direction stay ordered in that
+        projected coordinate — the property binning relies on (§3.1)."""
+        a = projection_matrix(8, 3, seed=7)
+        direction = a[:, 0]
+        ts = np.sort(rng.random(20))
+        points = np.outer(ts, direction)
+        projected = points @ a
+        assert np.all(np.diff(projected[:, 0]) >= -1e-12)

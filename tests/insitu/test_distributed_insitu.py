@@ -1,0 +1,98 @@
+"""Tests for the distributed in-situ driver (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.insitu.distributed import run_distributed_insitu
+from repro.metrics.external import normalized_mutual_info
+from repro.proteins.trajectory import TrajectorySimulator
+
+
+def _shared_library_trajectories(n, n_residues=40, n_frames=900, n_phases=4,
+                                 base_seed=50):
+    """Trajectories exploring the same conformational library with
+    independent dynamics."""
+    proto = TrajectorySimulator(n_residues, n_frames, n_phases, seed=base_seed)
+    targets = proto.simulate().phase_targets
+    return [
+        TrajectorySimulator(
+            n_residues, n_frames, n_phases, phase_targets=targets,
+            seed=base_seed + 1 + i,
+        ).simulate(name=f"traj{i}")
+        for i in range(n)
+    ]
+
+
+class TestDistributedInSitu:
+    @pytest.fixture(scope="class")
+    def results_and_trajs(self):
+        trajs = _shared_library_trajectories(3)
+        results = run_distributed_insitu(trajs, seed=0, executor="thread")
+        return results, trajs
+
+    def test_one_result_per_rank(self, results_and_trajs):
+        results, trajs = results_and_trajs
+        assert len(results) == 3
+        for res, traj in zip(results, trajs):
+            assert res.labels.shape == (traj.n_frames,)
+
+    def test_global_model_identical(self, results_and_trajs):
+        results, _ = results_and_trajs
+        assert len({r.n_clusters for r in results}) == 1
+
+    def test_each_rank_tracks_its_phases(self, results_and_trajs):
+        results, trajs = results_and_trajs
+        for res in results:
+            assert res.phase_nmi > 0.4
+
+    def test_cross_trajectory_conformation_recognition(self, results_and_trajs):
+        """The §5 point: the same conformation visited by different
+        trajectories must land in consistent global clusters. We check it
+        by computing NMI between phase ids and labels *pooled across
+        ranks* — high only if phase→cluster mapping is consistent
+        globally, not merely within each trajectory."""
+        results, trajs = results_and_trajs
+        pooled_phases = np.concatenate([t.phase_ids for t in trajs])
+        pooled_labels = np.concatenate([r.labels for r in results])
+        assert normalized_mutual_info(pooled_phases, pooled_labels) > 0.4
+
+    def test_traffic_is_histogram_scale(self, results_and_trajs):
+        results, trajs = results_and_trajs
+        raw_bytes = trajs[0].angles.nbytes
+        for res in results[1:]:
+            assert res.traffic["bytes_sent"] < raw_bytes / 2
+
+    def test_unequal_trajectory_lengths(self):
+        trajs = _shared_library_trajectories(2, n_frames=600)
+        longer = TrajectorySimulator(
+            40, 1100, 4, phase_targets=trajs[0].phase_targets, seed=99
+        ).simulate()
+        results = run_distributed_insitu(
+            [trajs[0], longer], seed=0, executor="thread"
+        )
+        assert results[0].labels.shape == (600,)
+        assert results[1].labels.shape == (1100,)
+        assert results[0].n_clusters == results[1].n_clusters
+
+    def test_single_rank_works(self):
+        trajs = _shared_library_trajectories(1)
+        results = run_distributed_insitu(trajs, seed=0, executor="thread")
+        assert results[0].n_clusters >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            run_distributed_insitu([])
+
+
+class TestSharedPhaseLibrary:
+    def test_same_targets_different_dynamics(self):
+        trajs = _shared_library_trajectories(2)
+        assert np.array_equal(trajs[0].phase_targets, trajs[1].phase_targets)
+        assert not np.array_equal(trajs[0].angles, trajs[1].angles)
+
+    def test_target_shape_validated(self):
+        with pytest.raises(ValidationError):
+            TrajectorySimulator(
+                10, 100, 3, phase_targets=np.zeros((2, 10), dtype=np.int8)
+            )

@@ -1,0 +1,76 @@
+"""Tests for the end-to-end in-situ pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.insitu.pipeline import InSituPipeline
+from repro.proteins.trajectory import TrajectorySimulator
+
+
+@pytest.fixture(scope="module")
+def traj():
+    return TrajectorySimulator(
+        n_residues=48, n_frames=1500, n_phases=4, seed=2
+    ).simulate()
+
+
+@pytest.fixture(scope="module")
+def result(traj):
+    return InSituPipeline(seed=2).run(traj)
+
+
+class TestPipeline:
+    def test_labels_cover_all_frames(self, traj, result):
+        assert result.labels.shape == (traj.n_frames,)
+        # The final assignment must label nearly every frame (clipping and
+        # tiny evictions may leave a few −1).
+        assert np.mean(result.labels >= 0) > 0.95
+
+    def test_online_clusters_track_phases(self, result):
+        assert result.phase_nmi is not None
+        assert result.phase_nmi > 0.4
+
+    def test_offline_segments_found(self, result, traj):
+        assert len(result.segments) >= traj.n_phases - 1
+        assert result.segment_nmi is None or result.segment_nmi > 0.4
+
+    def test_segments_disjoint_and_ordered(self, result):
+        segs = result.segments
+        for a, b in zip(segs, segs[1:]):
+            assert a.stop <= b.start
+
+    def test_fingerprints_per_frame(self, traj, result):
+        assert len(result.fingerprints) == traj.n_frames
+
+    def test_timings_recorded(self, result):
+        assert set(result.timings) == {"encode", "cluster", "fingerprint",
+                                       "validate"}
+        assert all(v >= 0 for v in result.timings.values())
+
+    def test_clustering_time_linear_scale(self):
+        """The in-situ clustering cost per frame must stay roughly flat as
+        the trajectory grows (the Figure-3 property)."""
+        import time
+
+        times = {}
+        for n_frames in (400, 1600):
+            traj = TrajectorySimulator(32, n_frames, n_phases=3, seed=7).simulate()
+            pipe = InSituPipeline(seed=7)
+            res = pipe.run(traj)
+            times[n_frames] = res.timings["cluster"] / n_frames
+        assert times[1600] < times[400] * 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            InSituPipeline(chunk_size=0)
+        with pytest.raises(ValidationError):
+            InSituPipeline(refresh_every=0)
+
+    def test_deterministic(self, traj):
+        a = InSituPipeline(seed=3).run(traj)
+        b = InSituPipeline(seed=3).run(traj)
+        assert np.array_equal(a.labels, b.labels)
+        assert [(s.start, s.stop, s.label) for s in a.segments] == [
+            (s.start, s.stop, s.label) for s in b.segments
+        ]

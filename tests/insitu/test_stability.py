@@ -1,0 +1,121 @@
+"""Tests for eq. 3 probabilities, HDR centres, and eq. 4 decisions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.insitu.stability import (
+    hdr_center,
+    label_probabilities,
+    stability_decisions,
+    stability_scores,
+)
+
+
+class TestLabelProbabilities:
+    def test_rows_sum_to_one(self, rng):
+        d = rng.uniform(1, 10, (4, 50))
+        p = label_probabilities(d)
+        assert np.allclose(p.sum(axis=0), 1.0)
+
+    def test_closest_label_highest(self):
+        d = np.array([[1.0], [10.0], [10.0]])
+        p = label_probabilities(d)
+        assert np.argmax(p[:, 0]) == 0
+
+    def test_zero_distance_dominates(self):
+        d = np.array([[0.0], [5.0]])
+        p = label_probabilities(d)
+        assert p[0, 0] > 0.999
+
+    def test_equal_distances_equal_probs(self):
+        d = np.full((3, 2), 4.0)
+        p = label_probabilities(d)
+        assert np.allclose(p, 1 / 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            label_probabilities(np.zeros(4))
+        with pytest.raises(ValidationError):
+            label_probabilities(np.array([[-1.0]]))
+
+
+class TestHDRCenter:
+    def test_uniform_sample_center(self, rng):
+        samples = np.linspace(0, 1, 101)
+        c = hdr_center(samples, 1.0)
+        assert c == pytest.approx(0.5)
+
+    def test_tight_mode_found(self, rng):
+        # 70% of mass at ~0.8, 30% spread out.
+        samples = np.concatenate(
+            [rng.normal(0.8, 0.01, 700), rng.uniform(0, 1, 300)]
+        )
+        assert abs(hdr_center(samples, 0.7) - 0.8) < 0.05
+
+    def test_single_sample(self):
+        assert hdr_center(np.array([0.3])) == pytest.approx(0.3)
+
+    def test_bimodal_picks_denser(self, rng):
+        samples = np.concatenate(
+            [rng.normal(0.2, 0.005, 600), rng.normal(0.9, 0.05, 400)]
+        )
+        assert abs(hdr_center(samples, 0.5) - 0.2) < 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            hdr_center(np.array([]))
+        with pytest.raises(ValidationError):
+            hdr_center(np.array([1.0]), mass=0.0)
+
+
+class TestStabilityScores:
+    def test_shape(self, rng):
+        p = label_probabilities(rng.uniform(1, 5, (3, 40)))
+        s = stability_scores(p, window=10)
+        assert s.shape == (3, 40)
+
+    def test_constant_probabilities_give_constant_scores(self):
+        p = np.tile(np.array([[0.7], [0.3]]), (1, 30))
+        s = stability_scores(p, window=10)
+        assert np.allclose(s[0], 0.7)
+        assert np.allclose(s[1], 0.3)
+
+    def test_window_lags_changes(self):
+        """A step change in probability shows up gradually (over ~window)."""
+        p0 = np.concatenate([np.full(50, 0.9), np.full(50, 0.1)])
+        p = np.stack([p0, 1 - p0])
+        s = stability_scores(p, window=20)
+        # right after the switch the score still reflects the past
+        assert s[0, 52] > 0.5
+        # long after the switch it has converged
+        assert s[0, 95] < 0.2
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            stability_scores(np.zeros(4), window=2)
+        with pytest.raises(ValidationError):
+            stability_scores(np.zeros((2, 4)), window=0)
+
+
+class TestStabilityDecisions:
+    def test_clear_winner_stable(self):
+        s = np.array([[0.9, 0.9], [0.1, 0.1]])
+        stable, winners = stability_decisions(s, threshold=0.1)
+        assert stable.all()
+        assert winners.tolist() == [0, 0]
+
+    def test_tie_not_stable(self):
+        s = np.array([[0.5, 0.52], [0.5, 0.49]])
+        stable, winners = stability_decisions(s, threshold=0.1)
+        assert not stable.any()
+
+    def test_winner_reported_even_when_unstable(self):
+        s = np.array([[0.51], [0.49]])
+        stable, winners = stability_decisions(s, threshold=0.5)
+        assert not stable[0]
+        assert winners[0] == 0
+
+    def test_needs_two_labels(self):
+        with pytest.raises(ValidationError):
+            stability_decisions(np.zeros((1, 5)))

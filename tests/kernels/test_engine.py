@@ -1,0 +1,97 @@
+"""Tests for the chunked kernel engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels.engine import KernelEngine
+
+
+class TestBlocks:
+    def test_single_block_when_small(self):
+        eng = KernelEngine(block_size=100)
+        assert eng.blocks(50) == [(0, 50)]
+
+    def test_none_block_size_single_launch(self):
+        eng = KernelEngine(block_size=None)
+        assert eng.blocks(10_000) == [(0, 10_000)]
+
+    def test_blocks_cover_input(self):
+        eng = KernelEngine(block_size=7)
+        blocks = eng.blocks(23)
+        assert blocks[0][0] == 0 and blocks[-1][1] == 23
+        for (a0, a1), (b0, b1) in zip(blocks, blocks[1:]):
+            assert a1 == b0
+
+    def test_zero_rows(self):
+        assert KernelEngine(8).blocks(0) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValidationError):
+            KernelEngine(block_size=0)
+
+
+class TestMap:
+    def test_matches_unchunked(self, rng):
+        x = rng.random((100, 4))
+        eng = KernelEngine(block_size=13)
+        out = eng.map(lambda b: b * 2.0, x)
+        assert np.allclose(out, x * 2.0)
+
+    def test_kernel_args_forwarded(self, rng):
+        x = rng.random((50, 3))
+        eng = KernelEngine(block_size=9)
+        out = eng.map(lambda b, k: b + k, x, 5.0)
+        assert np.allclose(out, x + 5.0)
+
+    def test_preallocated_out(self, rng):
+        x = rng.random((20, 2))
+        out = np.empty_like(x)
+        eng = KernelEngine(block_size=6)
+        result = eng.map(lambda b: b, x, out=out)
+        assert result is out
+        assert np.allclose(out, x)
+
+    def test_launch_counter(self, rng):
+        x = rng.random((30, 2))
+        eng = KernelEngine(block_size=10)
+        eng.map(lambda b: b, x)
+        assert eng.launches == 3
+
+    def test_zero_row_input(self):
+        eng = KernelEngine(block_size=4)
+        out = eng.map(lambda b: b, np.empty((0, 3)), out_shape=(0, 3))
+        assert out.shape == (0, 3)
+
+    def test_dtype_override(self, rng):
+        x = rng.random((10, 2))
+        eng = KernelEngine(block_size=4)
+        out = eng.map(
+            lambda b: (b > 0.5).astype(np.int32), x,
+            out_shape=(10, 2), out_dtype=np.int32,
+        )
+        assert out.dtype == np.int32
+
+
+class TestReduce:
+    def test_sum_reduction_matches(self, rng):
+        x = rng.random((101, 5))
+        eng = KernelEngine(block_size=17)
+        total = eng.reduce(
+            lambda b: b.sum(axis=0), x, combine=lambda a, b: a + b
+        )
+        assert np.allclose(total, x.sum(axis=0))
+
+    def test_initial_value(self, rng):
+        x = rng.random((10, 2))
+        eng = KernelEngine(block_size=3)
+        base = np.full(2, 100.0)
+        total = eng.reduce(
+            lambda b: b.sum(axis=0), x, combine=lambda a, b: a + b, initial=base
+        )
+        assert np.allclose(total, x.sum(axis=0) + 100.0)
+
+    def test_empty_input_returns_initial(self):
+        eng = KernelEngine(block_size=3)
+        assert eng.reduce(lambda b: b.sum(), np.empty((0, 2)),
+                          combine=lambda a, b: a + b, initial=0.0) == 0.0

@@ -1,0 +1,88 @@
+"""Tests for purity, NMI, ARI."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.external import (
+    adjusted_rand_index,
+    normalized_mutual_info,
+    purity,
+)
+
+
+class TestPurity:
+    def test_perfect(self):
+        y = np.array([0, 0, 1, 1])
+        assert purity(y, y) == 1.0
+
+    def test_permutation_invariant(self):
+        y = np.array([0, 0, 1, 1])
+        assert purity(y, 1 - y) == 1.0
+
+    def test_single_cluster_prediction(self):
+        y_true = np.array([0, 0, 0, 1])
+        assert purity(y_true, np.zeros(4, dtype=int)) == 0.75
+
+    def test_monotone_in_errors(self, rng):
+        y = rng.integers(0, 3, 120)
+        perfect = purity(y, y)
+        noisy = y.copy()
+        noisy[:30] = (noisy[:30] + 1) % 3
+        assert purity(y, noisy) < perfect
+
+
+class TestNMI:
+    def test_perfect_is_one(self, rng):
+        y = rng.integers(0, 4, 100)
+        assert normalized_mutual_info(y, y) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        y_true = rng.integers(0, 2, 5000)
+        y_pred = rng.integers(0, 2, 5000)
+        assert normalized_mutual_info(y_true, y_pred) < 0.05
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 4, 100)
+        assert normalized_mutual_info(a, b) == pytest.approx(
+            normalized_mutual_info(b, a)
+        )
+
+    def test_bounded(self, rng):
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            a = r.integers(0, 5, 60)
+            b = r.integers(-1, 5, 60)
+            v = normalized_mutual_info(a, b)
+            assert 0.0 <= v <= 1.0
+
+    def test_refinement_high(self):
+        """Splitting each true cluster in two keeps NMI well above chance."""
+        y_true = np.repeat([0, 1], 100)
+        y_pred = np.concatenate(
+            [np.repeat(0, 50), np.repeat(1, 50), np.repeat(2, 50), np.repeat(3, 50)]
+        )
+        assert normalized_mutual_info(y_true, y_pred) > 0.5
+
+
+class TestARI:
+    def test_perfect_is_one(self, rng):
+        y = rng.integers(0, 4, 100)
+        assert adjusted_rand_index(y, y) == pytest.approx(1.0)
+
+    def test_random_near_zero(self, rng):
+        y_true = rng.integers(0, 3, 3000)
+        y_pred = rng.integers(0, 3, 3000)
+        assert abs(adjusted_rand_index(y_true, y_pred)) < 0.05
+
+    def test_single_cluster_trivial(self):
+        y_true = np.repeat([0, 1], 50)
+        y_pred = np.zeros(100, dtype=int)
+        assert adjusted_rand_index(y_true, y_pred) == pytest.approx(0.0, abs=1e-9)
+
+    def test_permutation_invariant(self, rng):
+        y_true = rng.integers(0, 3, 90)
+        y_pred = rng.integers(0, 3, 90)
+        assert adjusted_rand_index(y_true, y_pred) == pytest.approx(
+            adjusted_rand_index(y_true, (y_pred + 1) % 3)
+        )

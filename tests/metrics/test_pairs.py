@@ -1,0 +1,119 @@
+"""Tests for pair-counting precision/recall/F1."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.pairs import PairScores, pair_confusion, pair_precision_recall_f1
+
+
+def brute_force_pairs(y_true, y_pred):
+    """O(M²) reference implementation."""
+    tp = fp = fn = tn = 0
+    m = len(y_true)
+    for i, j in itertools.combinations(range(m), 2):
+        same_t = y_true[i] == y_true[j]
+        same_p = y_pred[i] == y_pred[j]
+        if same_p and same_t:
+            tp += 1
+        elif same_p and not same_t:
+            fp += 1
+        elif not same_p and same_t:
+            fn += 1
+        else:
+            tn += 1
+    return tp, fp, fn, tn
+
+
+class TestPairConfusion:
+    def test_perfect_clustering(self):
+        y = np.array([0, 0, 1, 1, 2])
+        s = pair_confusion(y, y)
+        assert s.fp == 0 and s.fn == 0
+        assert s.precision == 1.0 and s.recall == 1.0 and s.f1 == 1.0
+
+    def test_matches_brute_force(self, rng):
+        y_true = rng.integers(0, 4, 60)
+        y_pred = rng.integers(0, 5, 60)
+        s = pair_confusion(y_true, y_pred)
+        tp, fp, fn, tn = brute_force_pairs(y_true, y_pred)
+        assert (s.tp, s.fp, s.fn, s.tn) == (tp, fp, fn, tn)
+
+    def test_label_permutation_invariant(self, rng):
+        y_true = rng.integers(0, 3, 80)
+        y_pred = rng.integers(0, 3, 80)
+        permuted = (y_pred + 1) % 3
+        a = pair_confusion(y_true, y_pred)
+        b = pair_confusion(y_true, permuted)
+        assert (a.tp, a.fp, a.fn, a.tn) == (b.tp, b.fp, b.fn, b.tn)
+
+    def test_everything_one_cluster(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.zeros(4, dtype=int)
+        s = pair_confusion(y_true, y_pred)
+        assert s.recall == 1.0  # no same-cluster pair missed
+        assert s.precision == pytest.approx(2 / 6)
+
+    def test_all_singletons_prediction(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.arange(4)
+        s = pair_confusion(y_true, y_pred)
+        assert s.tp == 0
+        assert s.precision == 1.0  # vacuous: no positive pairs claimed
+        assert s.recall == 0.0
+
+    def test_noise_treated_as_singletons(self):
+        y_true = np.array([0, 0, 0, 1, 1])
+        y_pred = np.array([0, 0, -1, 1, 1])
+        s = pair_confusion(y_true, y_pred)
+        brute = brute_force_pairs(y_true, np.array([0, 0, 99, 1, 1]))
+        assert (s.tp, s.fp, s.fn, s.tn) == brute
+
+    def test_multiple_noise_points_distinct(self):
+        """Two −1 points must NOT count as a same-cluster pair."""
+        y_true = np.array([0, 0])
+        y_pred = np.array([-1, -1])
+        s = pair_confusion(y_true, y_pred)
+        assert s.tp == 0 and s.fn == 1
+
+    def test_totals_sum_to_all_pairs(self, rng):
+        y_true = rng.integers(0, 3, 50)
+        y_pred = rng.integers(-1, 3, 50)
+        s = pair_confusion(y_true, y_pred)
+        assert s.tp + s.fp + s.fn + s.tn == 50 * 49 // 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            pair_confusion(np.zeros(3), np.zeros(4))
+
+    def test_negative_truth_rejected(self):
+        with pytest.raises(ValidationError):
+            pair_confusion(np.array([-1, 0]), np.array([0, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            pair_confusion(np.array([]), np.array([]))
+
+
+class TestScores:
+    def test_f1_harmonic_mean(self):
+        s = PairScores(tp=30, fp=10, fn=30, tn=30)
+        p, r = 30 / 40, 30 / 60
+        assert s.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_no_tp(self):
+        s = PairScores(tp=0, fp=0, fn=10, tn=0)
+        assert s.f1 == 0.0
+
+    def test_rand_index(self):
+        s = PairScores(tp=2, fp=1, fn=1, tn=6)
+        assert s.rand_index == pytest.approx(0.8)
+
+    def test_convenience_tuple(self, rng):
+        y_true = rng.integers(0, 3, 40)
+        y_pred = rng.integers(0, 3, 40)
+        p, r, f = pair_precision_recall_f1(y_true, y_pred)
+        s = pair_confusion(y_true, y_pred)
+        assert (p, r, f) == (s.precision, s.recall, s.f1)

@@ -1,0 +1,70 @@
+"""Property-based tests at the estimator level."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeyBin2
+from repro.data.gaussians import gaussian_mixture
+
+COMMON = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEstimatorInvariances:
+    @COMMON
+    @given(st.integers(0, 10_000), st.integers(2, 64))
+    def test_row_permutation_equivariance(self, seed, perm_seed):
+        """Shuffling the rows of X must shuffle the labels identically:
+        nothing in KeyBin2 depends on data order (histograms commute)."""
+        x, _ = gaussian_mixture(300, 8, n_clusters=3, seed=seed)
+        kb = KeyBin2(seed=7, n_projections=2).fit(x)
+        perm = np.random.default_rng(perm_seed).permutation(x.shape[0])
+        kb2 = KeyBin2(seed=7, n_projections=2).fit(x[perm])
+        assert np.array_equal(kb2.labels_, kb.labels_[perm])
+
+    @COMMON
+    @given(st.integers(0, 10_000))
+    def test_labels_dense_and_bounded(self, seed):
+        x, _ = gaussian_mixture(300, 6, n_clusters=3, seed=seed)
+        kb = KeyBin2(seed=1, n_projections=2).fit(x)
+        labels = kb.labels_
+        assert labels.min() >= -1
+        assert labels.max() < kb.n_clusters_
+        # Every cluster id below n_clusters_ is actually used at fit time.
+        used = np.unique(labels[labels >= 0])
+        assert used.size == kb.n_clusters_
+
+    @COMMON
+    @given(st.integers(0, 10_000), st.floats(0.5, 100.0))
+    def test_global_scaling_invariance_of_structure(self, seed, scale):
+        """Uniformly scaling the data must not change the cluster count
+        dramatically (binning is range-relative)."""
+        x, _ = gaussian_mixture(400, 8, n_clusters=3, seed=seed)
+        a = KeyBin2(seed=2, n_projections=2).fit(x)
+        b = KeyBin2(seed=2, n_projections=2).fit(x * scale)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    @COMMON
+    @given(st.integers(0, 10_000))
+    def test_translation_invariance(self, seed):
+        """Adding a constant vector shifts the range with the data, so the
+        clustering is unchanged."""
+        x, _ = gaussian_mixture(400, 8, n_clusters=3, seed=seed)
+        shift = np.random.default_rng(seed).normal(0, 50, 8)
+        a = KeyBin2(seed=3, n_projections=2).fit(x)
+        b = KeyBin2(seed=3, n_projections=2).fit(x + shift)
+        assert a.n_clusters_ == b.n_clusters_
+
+    @COMMON
+    @given(st.integers(0, 10_000))
+    def test_predict_is_pure(self, seed):
+        """predict() must not mutate the model: repeated calls agree."""
+        x, _ = gaussian_mixture(300, 6, n_clusters=3, seed=seed)
+        kb = KeyBin2(seed=4, n_projections=2).fit(x)
+        first = kb.predict(x)
+        for _ in range(3):
+            assert np.array_equal(kb.predict(x), first)

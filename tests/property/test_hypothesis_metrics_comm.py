@@ -1,0 +1,115 @@
+"""Property-based tests for metrics, union-find and ring collectives."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.pdsdbscan import DisjointSet
+from repro.comm import ReduceOp, ring_allreduce, run_spmd
+from repro.metrics.external import adjusted_rand_index, normalized_mutual_info
+from repro.metrics.pairs import pair_confusion
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+label_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(2, 60), elements=st.integers(0, 5)
+)
+
+
+class TestPairMetricProperties:
+    @COMMON
+    @given(label_arrays)
+    def test_self_comparison_perfect(self, y):
+        s = pair_confusion(y, y)
+        assert s.fp == 0 and s.fn == 0
+
+    @COMMON
+    @given(label_arrays, label_arrays)
+    def test_counts_partition_pairs(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        y_true, y_pred = y_true[:n], y_pred[:n]
+        s = pair_confusion(y_true, y_pred)
+        assert s.tp + s.fp + s.fn + s.tn == n * (n - 1) // 2
+        assert min(s.tp, s.fp, s.fn, s.tn) >= 0
+
+    @COMMON
+    @given(label_arrays, label_arrays, st.integers(1, 5))
+    def test_pred_relabeling_invariant(self, y_true, y_pred, shift):
+        n = min(len(y_true), len(y_pred))
+        y_true, y_pred = y_true[:n], y_pred[:n]
+        a = pair_confusion(y_true, y_pred)
+        b = pair_confusion(y_true, (y_pred + shift) % 7)
+        assert (a.tp, a.fp, a.fn, a.tn) == (b.tp, b.fp, b.fn, b.tn)
+
+    @COMMON
+    @given(label_arrays, label_arrays)
+    def test_metric_bounds(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        y_true, y_pred = y_true[:n], y_pred[:n]
+        s = pair_confusion(y_true, y_pred)
+        assert 0.0 <= s.precision <= 1.0
+        assert 0.0 <= s.recall <= 1.0
+        assert 0.0 <= s.f1 <= 1.0
+        assert 0.0 <= normalized_mutual_info(y_true, y_pred) <= 1.0
+        assert -1.0 <= adjusted_rand_index(y_true, y_pred) <= 1.0
+
+
+class TestDisjointSetProperties:
+    @COMMON
+    @given(
+        st.integers(2, 40),
+        st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+    )
+    def test_equivalence_closure(self, n, unions):
+        ds = DisjointSet(n)
+        edges = [(a % n, b % n) for a, b in unions]
+        for a, b in edges:
+            ds.union(a, b)
+        # Reference: transitive closure via adjacency BFS.
+        adj = {i: set() for i in range(n)}
+        for a, b in edges:
+            adj[a].add(b)
+            adj[b].add(a)
+
+        def component(start):
+            seen = {start}
+            stack = [start]
+            while stack:
+                cur = stack.pop()
+                for nxt in adj[cur]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return frozenset(seen)
+
+        roots = ds.roots()
+        for i in range(n):
+            for j in range(n):
+                same_ref = j in component(i)
+                assert (roots[i] == roots[j]) == same_ref
+
+
+class TestRingProperties:
+    @COMMON
+    @given(
+        st.integers(1, 6),
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 20),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+    )
+    def test_ring_allreduce_equals_sum(self, size, base):
+        def prog(comm):
+            buf = base * (comm.rank + 1)
+            return ring_allreduce(comm, buf)
+
+        results = run_spmd(prog, size, executor="thread", timeout=30)
+        expected = base * sum(range(1, size + 1))
+        for r in results:
+            assert np.allclose(r, expected)

@@ -1,0 +1,51 @@
+"""Tests for repro.util.chunking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.chunking import balanced_counts, chunk_slices
+
+
+class TestBalancedCounts:
+    def test_even_split(self):
+        assert balanced_counts(10, 5).tolist() == [2, 2, 2, 2, 2]
+
+    def test_remainder_spread_to_front(self):
+        assert balanced_counts(11, 4).tolist() == [3, 3, 3, 2]
+
+    def test_more_parts_than_items(self):
+        counts = balanced_counts(2, 5)
+        assert counts.tolist() == [1, 1, 0, 0, 0]
+
+    def test_sum_invariant(self):
+        for total in (0, 1, 7, 100):
+            for parts in (1, 3, 8):
+                assert balanced_counts(total, parts).sum() == total
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValidationError):
+            balanced_counts(10, 0)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValidationError):
+            balanced_counts(-1, 2)
+
+
+class TestChunkSlices:
+    def test_covers_range_contiguously(self):
+        slices = chunk_slices(10, 3)
+        assert slices[0][0] == 0
+        assert slices[-1][1] == 10
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 == b0
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [b - a for a, b in chunk_slices(17, 5)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_part(self):
+        assert chunk_slices(5, 1) == [(0, 5)]
+
+    def test_empty_total(self):
+        assert chunk_slices(0, 3) == [(0, 0), (0, 0), (0, 0)]

@@ -1,0 +1,77 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, seed_sequence_for_rank, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_is_allowed(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_independent(self):
+        gens = spawn_generators(123, 3)
+        streams = [g.random(100) for g in gens]
+        assert not np.array_equal(streams[0], streams[1])
+        assert not np.array_equal(streams[1], streams[2])
+
+    def test_deterministic_from_same_seed(self):
+        a = [g.random(4) for g in spawn_generators(9, 2)]
+        b = [g.random(4) for g in spawn_generators(9, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(0)
+        children = spawn_generators(g, 2)
+        assert len(children) == 2
+
+
+class TestSeedSequenceForRank:
+    def test_rank_streams_differ(self):
+        s0 = np.random.default_rng(seed_sequence_for_rank(5, 0, 4)).random(10)
+        s1 = np.random.default_rng(seed_sequence_for_rank(5, 1, 4)).random(10)
+        assert not np.array_equal(s0, s1)
+
+    def test_same_rank_same_stream(self):
+        a = np.random.default_rng(seed_sequence_for_rank(5, 2, 4)).random(10)
+        b = np.random.default_rng(seed_sequence_for_rank(5, 2, 4)).random(10)
+        assert np.array_equal(a, b)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            seed_sequence_for_rank(0, 4, 4)
+        with pytest.raises(ValueError):
+            seed_sequence_for_rank(0, -1, 4)

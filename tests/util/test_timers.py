@@ -1,0 +1,52 @@
+"""Tests for repro.util.timers."""
+
+import time
+
+from repro.util.timers import Timer, TimingRegistry
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+
+class TestTimingRegistry:
+    def test_section_accumulates(self):
+        reg = TimingRegistry()
+        with reg.section("a"):
+            pass
+        with reg.section("a"):
+            pass
+        assert len(reg.sections["a"]) == 2
+
+    def test_total_and_mean(self):
+        reg = TimingRegistry()
+        reg.add("x", 1.0)
+        reg.add("x", 3.0)
+        assert reg.total("x") == 4.0
+        assert reg.mean("x") == 2.0
+
+    def test_missing_section_zero(self):
+        reg = TimingRegistry()
+        assert reg.total("nope") == 0.0
+        assert reg.mean("nope") == 0.0
+
+    def test_summary_sorted_descending(self):
+        reg = TimingRegistry()
+        reg.add("small", 0.1)
+        reg.add("big", 5.0)
+        keys = list(reg.summary().keys())
+        assert keys == ["big", "small"]
+
+    def test_clear(self):
+        reg = TimingRegistry()
+        reg.add("x", 1.0)
+        reg.clear()
+        assert list(reg.names()) == []

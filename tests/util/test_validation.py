@@ -1,0 +1,116 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    check_array_2d,
+    check_finite,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckArray2D:
+    def test_passthrough(self):
+        x = np.zeros((3, 2))
+        out = check_array_2d(x)
+        assert out.shape == (3, 2)
+
+    def test_1d_promoted_to_column(self):
+        out = check_array_2d(np.arange(4))
+        assert out.shape == (4, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array_2d(np.zeros((2, 2, 2)))
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValidationError, match="row"):
+            check_array_2d(np.zeros((1, 3)), min_rows=2)
+
+    def test_min_cols_enforced(self):
+        with pytest.raises(ValidationError, match="column"):
+            check_array_2d(np.zeros((3, 1)), min_cols=2)
+
+    def test_contiguous_float64_output(self):
+        x = np.asfortranarray(np.ones((4, 3), dtype=np.float32))
+        out = check_array_2d(x)
+        assert out.flags["C_CONTIGUOUS"]
+        assert out.dtype == np.float64
+
+    def test_list_input_accepted(self):
+        out = check_array_2d([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_allow_empty(self):
+        out = check_array_2d(np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+
+class TestCheckFinite:
+    def test_ok(self):
+        x = np.ones(3)
+        assert check_finite(x) is x
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            check_finite(np.array([np.inf, 1.0]))
+
+
+class TestCheckPositiveInt:
+    def test_ok(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_numpy_int_ok(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(3.0, "x")
+
+    def test_below_minimum(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x", minimum=1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_ok(self, v):
+        assert check_probability(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.1, 1.1])
+    def test_out_of_range(self, v):
+        with pytest.raises(ValidationError):
+            check_probability(v, "p")
+
+    def test_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_probability("half", "p")
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range(1.0, "x", low=1.0, high=2.0) == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.0, "x", low=1.0, inclusive=False)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(float("nan"), "x")
+
+    def test_high_violation(self):
+        with pytest.raises(ValidationError):
+            check_in_range(3.0, "x", high=2.0)
