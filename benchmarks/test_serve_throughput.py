@@ -1,0 +1,207 @@
+"""Serving benchmarks: micro-batching speedup and hot-swap under load.
+
+Two claims get pinned here (the serve layer's acceptance criteria):
+
+1. **Micro-batching pays.** Labeling one point costs a dozen small numpy
+   calls of fixed dispatch overhead; labeling hundreds in one vectorized
+   call costs almost the same. Coalescing concurrent single-point
+   requests must therefore beat a single-request-per-call naive loop by
+   ≥ 5× at a batch window ≤ 10 ms.
+
+2. **Hot-swap is invisible.** Publishing a new model version mid-run
+   completes with zero failed requests, and every response is labeled by
+   exactly one version — old or new, never a mixture.
+
+The speedup measurement is in-process (batcher + full inference pipeline,
+no TCP) so it isolates the batching effect from socket costs; the
+hot-swap run goes over real TCP with the load generator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KeyBin2
+from repro.serve import (
+    BatchPolicy,
+    InferenceService,
+    MicroBatcher,
+    ModelRegistry,
+    run_closed_loop,
+    serve_in_thread,
+)
+
+N_REQUESTS = 4000
+
+
+@pytest.fixture(scope="module")
+def serving_setup(mixture_cache):
+    x, _ = mixture_cache(4000, 16, seed=0)
+    model = KeyBin2(n_projections=4, seed=3).fit(x[:2000]).model_
+    alt = KeyBin2(n_projections=4, seed=11).fit(x[:2000]).model_
+    queries = x[2000:]  # held-out traffic
+    return model, alt, queries
+
+
+def _naive_loop_rps(service: InferenceService, queries: np.ndarray,
+                    n_requests: int, trials: int = 3) -> float:
+    """One service call per request — no coalescing anywhere (best of N)."""
+    best = 0.0
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for i in range(n_requests):
+            service.predict_single(queries[i % queries.shape[0]])
+        best = max(best, n_requests / (time.perf_counter() - t0))
+    return best
+
+
+def _batched_rps(service: InferenceService, queries: np.ndarray,
+                 n_requests: int, window_s: float) -> tuple:
+    """n_requests concurrent single-point submits through the batcher."""
+
+    async def scenario():
+        batcher = MicroBatcher(
+            service.predict_rows,
+            BatchPolicy(max_batch=512, max_delay_s=window_s,
+                        max_queue=2 * n_requests),
+            stats=service.stats,
+        ).start()
+        rows = [queries[i % queries.shape[0]] for i in range(n_requests)]
+        t0 = time.perf_counter()
+        results = await asyncio.gather(
+            *[batcher.submit_nowait(r) for r in rows]
+        )
+        elapsed = time.perf_counter() - t0
+        await batcher.stop()
+        return n_requests / elapsed, results
+
+    return asyncio.run(scenario())
+
+
+class TestMicroBatchingSpeedup:
+    def test_batched_beats_naive_loop_5x(self, serving_setup):
+        """The headline acceptance criterion: ≥ 5× at window ≤ 10 ms.
+
+        Both sides are measured best-of-3 so a noisy neighbor slowing one
+        trial doesn't turn a ~9× architectural gap into a flaky assertion.
+        """
+        import gc
+
+        model, _, queries = serving_setup
+        registry = ModelRegistry()
+        registry.publish(model)
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()  # keep collector pauses out of both measurements
+        try:
+            naive_service = InferenceService(registry)
+            naive_rps = _naive_loop_rps(naive_service, queries,
+                                        N_REQUESTS // 4)
+
+            batched_service = InferenceService(registry)
+            batched_rps = 0.0
+            results = None
+            for _ in range(3):
+                rps, results = _batched_rps(
+                    batched_service, queries, N_REQUESTS, window_s=0.005
+                )
+                batched_rps = max(batched_rps, rps)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        # Same labels as the naive path, just faster.
+        expected = model.predict(
+            np.asarray([queries[i % queries.shape[0]]
+                        for i in range(N_REQUESTS)])
+        )
+        assert [lab for lab, _ in results] == [int(v) for v in expected]
+
+        speedup = batched_rps / naive_rps
+        print(f"\nnaive: {naive_rps:,.0f} req/s  batched: {batched_rps:,.0f} "
+              f"req/s  speedup: {speedup:.1f}x")
+        assert speedup >= 5.0, (
+            f"micro-batching speedup {speedup:.2f}x < 5x "
+            f"(naive {naive_rps:.0f} rps, batched {batched_rps:.0f} rps)"
+        )
+
+    def test_batches_actually_formed(self, serving_setup):
+        model, _, queries = serving_setup
+        registry = ModelRegistry()
+        registry.publish(model)
+        service = InferenceService(registry)
+        _batched_rps(service, queries, 1000, window_s=0.005)
+        assert service.stats.mean_batch_size > 8
+        assert service.stats.max_batch_seen <= 512
+
+    def test_single_predict_throughput(self, benchmark, serving_setup):
+        """pytest-benchmark number for the naive path (regression tracking)."""
+        model, _, queries = serving_setup
+        registry = ModelRegistry()
+        registry.publish(model)
+        service = InferenceService(registry)
+        counter = {"i": 0}
+
+        def one():
+            i = counter["i"] = counter["i"] + 1
+            return service.predict_single(queries[i % queries.shape[0]])
+
+        benchmark(one)
+
+    def test_batched_predict_throughput(self, benchmark, serving_setup):
+        """pytest-benchmark number for a 512-wide coalesced flush."""
+        model, _, queries = serving_setup
+        registry = ModelRegistry()
+        registry.publish(model)
+        service = InferenceService(registry)
+        block = np.ascontiguousarray(queries[:512])
+
+        def flush():
+            return service.predict_rows(block)
+
+        benchmark(flush)
+        benchmark.extra_info["points_per_flush"] = 512
+
+
+class TestHotSwapUnderLoad:
+    def test_zero_failed_requests_across_swap(self, serving_setup):
+        """Registry hot-swap during a TCP load run: nothing fails, nothing
+        is labeled by a phantom version."""
+        model, alt, queries = serving_setup
+        registry = ModelRegistry()
+        registry.publish(model)
+
+        with serve_in_thread(
+            registry, policy=BatchPolicy(max_delay_s=0.002)
+        ) as handle:
+            host, port = handle.address
+
+            def swap_mid_run():
+                # Swap once a third of the traffic is in — lands mid-run
+                # regardless of machine speed (5s deadline fallback).
+                deadline = time.time() + 5.0
+                while (handle.server.stats.requests_total < 1000
+                       and time.time() < deadline):
+                    time.sleep(0.002)
+                registry.publish(alt, tag="mid-run-swap")
+
+            swapper = threading.Thread(target=swap_mid_run)
+            swapper.start()
+            report = run_closed_loop(host, port, queries[:500],
+                                     n_requests=3000, n_clients=12)
+            swapper.join()
+            stats = handle.server.stats.snapshot()
+
+        assert report.requests_ok == 3000
+        assert report.requests_failed == 0
+        # Exactly-one-version labeling: only v1 and v2 ever appear...
+        assert report.versions_seen <= {1, 2}
+        # ...and the swap genuinely took traffic mid-run.
+        assert report.versions_seen == {1, 2}
+        served = {int(v) for v in stats["versions_served"]}
+        assert served == {1, 2}

@@ -21,6 +21,7 @@ metrics    pair precision/recall/F1, NMI, ARI, purity, CH, run CIs
 data       synthetic generators (Gaussians, boxes, rings, correlated, streams)
 proteins   synthetic folding trajectories + Ramachandran encoding (§5)
 insitu     fingerprints, stability scoring, metastable segments (§5)
+serve      online model serving (registry/hot-swap, micro-batching, TCP)
 bench      experiment harness regenerating the paper's tables and figures
 """
 

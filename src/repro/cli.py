@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: regenerate any paper artifact, or serve a model.
 
 Usage::
 
@@ -10,9 +10,14 @@ Usage::
     python -m repro comm-volume
     python -m repro all            # everything, small scale
 
+    python -m repro serve --model model.json [--port 8765]
+    python -m repro serve-bench --demo --requests 2000 --clients 16
+
 ``--scale 1.0`` runs paper-sized experiments (hours on a workstation);
 the defaults finish in minutes on a laptop and preserve the shape of
-every conclusion.
+every conclusion. ``serve`` exposes a fitted model over the
+:mod:`repro.serve` TCP/JSON protocol; ``serve-bench`` spins up an
+in-process server and measures it with the load generator.
 """
 
 from __future__ import annotations
@@ -30,6 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate KeyBin2 (ICPP'18) evaluation artifacts.",
+        epilog=(
+            "Serving commands (own flags; see `python -m repro serve --help`): "
+            "serve, serve-bench."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -115,7 +124,137 @@ def _run_one(name: str, args) -> str:
     raise AssertionError(name)  # pragma: no cover
 
 
+def _load_or_demo_model(args):
+    """Resolve --model / --demo into a fitted KeyBin2Model."""
+    from repro.core.model import KeyBin2Model
+
+    if args.model is not None:
+        return KeyBin2Model.load(args.model)
+    if not args.demo:
+        raise SystemExit("need --model PATH or --demo (fit a toy model)")
+    from repro.core.estimator import KeyBin2
+    from repro.data.gaussians import gaussian_mixture
+
+    x, _ = gaussian_mixture(n_points=2000, n_dims=16, n_clusters=4, seed=args.seed)
+    model = KeyBin2(n_projections=4, seed=args.seed).fit(x).model_
+    model.meta["demo"] = True
+    return model
+
+
+def _serve_common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default=None,
+                        help="path to a model JSON written by KeyBin2Model.save")
+    parser.add_argument("--demo", action="store_true",
+                        help="fit a small synthetic model instead of loading one")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="micro-batch flush size")
+    parser.add_argument("--window-ms", type=float, default=5.0,
+                        help="micro-batch max linger (milliseconds)")
+    parser.add_argument("--queue", type=int, default=10_000,
+                        help="pending-row bound before backpressure rejections")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _run_serve(argv: List[str]) -> int:
+    import asyncio
+
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import ModelServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a fitted KeyBin2 model over TCP/JSON.",
+    )
+    _serve_common_flags(parser)
+    args = parser.parse_args(argv)
+
+    registry = ModelRegistry()
+    version = registry.publish(_load_or_demo_model(args), tag="serve-startup")
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_delay_s=args.window_ms / 1000.0,
+                         max_queue=args.queue)
+    server = ModelServer(registry, host=args.host, port=args.port, policy=policy)
+
+    async def _run():
+        await server.start()
+        info = registry.current().info()
+        print(f"serving model v{version} (fingerprint {info['fingerprint']}, "
+              f"{info['n_clusters']} clusters) on "
+              f"{server.host}:{server.bound_port}")
+        print("ops: predict, model-info, stats, healthz, reload, shutdown")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _run_serve_bench(argv: List[str]) -> int:
+    from repro.data.gaussians import gaussian_mixture
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.loadgen import run_closed_loop, run_open_loop
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import serve_in_thread
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-bench",
+        description="Measure serving throughput with the load generator.",
+    )
+    _serve_common_flags(parser)
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="closed-loop request count")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="closed-loop concurrent clients / open-loop conns")
+    parser.add_argument("--mode", choices=["closed", "open"], default="closed")
+    parser.add_argument("--rate", type=float, default=2000.0,
+                        help="open-loop arrival rate (req/s)")
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="open-loop duration (seconds)")
+    args = parser.parse_args(argv)
+
+    registry = ModelRegistry()
+    registry.publish(_load_or_demo_model(args), tag="bench")
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_delay_s=args.window_ms / 1000.0,
+                         max_queue=args.queue)
+    points, _ = gaussian_mixture(n_points=512, n_dims=registry.current()
+                                 .info()["n_features"], n_clusters=4,
+                                 seed=args.seed + 1)
+    with serve_in_thread(registry, host=args.host, port=args.port,
+                         policy=policy) as handle:
+        host, port = handle.address
+        if args.mode == "closed":
+            report = run_closed_loop(host, port, points,
+                                     n_requests=args.requests,
+                                     n_clients=args.clients)
+        else:
+            report = run_open_loop(host, port, points, rate=args.rate,
+                                   duration_s=args.duration,
+                                   n_connections=args.clients)
+        stats = handle.server.stats.snapshot()
+        cache = handle.server.cache.snapshot()
+    print(report.render())
+    print(f"  server: mean batch {stats['mean_batch_size']} "
+          f"(max {stats['max_batch_seen']}), "
+          f"batch hist {stats['batch_size_hist']}")
+    print(f"  cache: hit rate {cache['hit_rate']:.2%} "
+          f"({cache['hits']} hits / {cache['misses']} misses)")
+    return 0 if report.requests_failed == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return _run_serve_bench(argv[1:])
     args = _build_parser().parse_args(argv)
     names = (
         ["table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",

@@ -24,6 +24,24 @@ from repro.util.validation import check_array_2d, check_finite
 __all__ = ["KeyBin2Model"]
 
 
+def _json_sanitize(value):
+    """Coerce numpy scalars/arrays inside ``meta`` to plain python.
+
+    ``meta`` is free-form bookkeeping and routinely picks up ``np.int64``
+    counters or small arrays; the wire format must stay pure JSON so any
+    consumer (including the serve layer's clients) can parse it.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_sanitize(v) for v in value]
+    return value
+
+
 @dataclass
 class KeyBin2Model:
     """Fitted state of one accepted projection.
@@ -133,15 +151,62 @@ class KeyBin2Model:
             "sizes": None if self.table.sizes is None else self.table.sizes.tolist(),
             "score": self.score,
             "n_points_fit": self.n_points_fit,
-            "meta": dict(self.meta),
+            "meta": _json_sanitize(dict(self.meta)),
         }
 
-    def save(self, path) -> None:
-        """Write the model as JSON (the broadcastable wire format)."""
+    def fingerprint(self) -> str:
+        """Short content hash of the model's predictive state.
+
+        Two models with the same fingerprint label every point identically;
+        ``meta`` is excluded because it is bookkeeping, not behavior. The
+        serve layer stamps responses with this so clients can tell exactly
+        which model labeled them across hot-swaps.
+        """
+        import hashlib
         import json
+
+        d = self.to_dict()
+        d.pop("meta", None)
+        blob = json.dumps(d, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def save(self, path) -> None:
+        """Write the model as JSON (the broadcastable wire format).
+
+        The write is atomic: the JSON goes to a temporary file in the same
+        directory, then ``os.replace`` swaps it in, so a server hot-reloading
+        from disk can never observe a torn/partial model file. Non-finite
+        floats are rejected up front (``allow_nan=False``) — bare ``NaN`` /
+        ``Infinity`` tokens are not valid JSON and would poison consumers.
+        """
+        import json
+        import os
+        import tempfile
         from pathlib import Path
 
-        Path(path).write_text(json.dumps(self.to_dict()))
+        try:
+            text = json.dumps(self.to_dict(), allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"model is not JSON-serializable (NaN/Infinity or foreign "
+                f"type in state): {exc}"
+            ) from exc
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path) -> "KeyBin2Model":

@@ -288,8 +288,18 @@ class StreamingKeyBin2:
 
     # -- consolidation ---------------------------------------------------------
 
-    def refresh(self) -> "StreamingKeyBin2":
-        """Re-partition the accumulated histograms and install the best model."""
+    def refresh(self, publish_to=None) -> "StreamingKeyBin2":
+        """Re-partition the accumulated histograms and install the best model.
+
+        Parameters
+        ----------
+        publish_to:
+            Optional :class:`repro.serve.ModelRegistry` (or anything with a
+            ``publish(model)`` method). When given, the freshly consolidated
+            model is atomically hot-swapped into the registry, so an online
+            server keeps answering from the previous version until the new
+            one is fully installed.
+        """
         if self._states is None or self.n_seen_ == 0:
             raise NotFittedError("no data accumulated; call partial_fit first")
         deepest = self.candidate_depths[-1]
@@ -349,6 +359,8 @@ class StreamingKeyBin2:
                 elif fallback is None:
                     fallback = model
         self.model_ = best_model if best_model is not None else fallback
+        if publish_to is not None and self.model_ is not None:
+            publish_to.publish(self.model_)
         return self
 
     # -- inference -----------------------------------------------------------------

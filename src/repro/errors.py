@@ -15,6 +15,8 @@ __all__ = [
     "CommError",
     "RankFailedError",
     "ConvergenceError",
+    "ServeError",
+    "QueueFullError",
 ]
 
 
@@ -50,3 +52,16 @@ class RankFailedError(CommError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """Raised when an iterative algorithm fails to converge."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Raised on model-serving failures (see :mod:`repro.serve`)."""
+
+
+class QueueFullError(ServeError):
+    """Raised when the serving request queue rejects work (backpressure).
+
+    Callers should treat this as a retryable overload signal, not a bug:
+    the micro-batcher bounds its queue so that a traffic spike degrades
+    into fast rejections instead of unbounded memory growth.
+    """

@@ -1,0 +1,92 @@
+"""LRU cell-code → label cache for the serving hot path.
+
+KeyBin2 inference is a pure function of the grid cell a point lands in:
+every point with the same cell code gets the same label. Online traffic
+is heavily repetitive in cell space (real queries cluster — that is the
+whole premise), so a small LRU over ``(model version, cell code)`` pairs
+short-circuits the cluster-table lookup for the common case and, more
+importantly, gives operators a direct *cell-locality* signal: the hit
+rate reported by ``stats`` tells you how concentrated live traffic is.
+
+Keys include the model version so a registry hot-swap needs no
+invalidation handshake — entries from the old version simply age out.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["LabelCache"]
+
+
+class LabelCache:
+    """Bounded LRU mapping ``(version, cell_code) -> label``.
+
+    Thread-safe: the serving loop and a stats scraper may touch it
+    concurrently. ``maxsize=0`` disables caching (every get misses, puts
+    are dropped) while keeping the call sites unconditional.
+    """
+
+    def __init__(self, maxsize: int = 65536):
+        if maxsize < 0:
+            raise ValidationError("maxsize must be >= 0")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, version: int, code: int) -> Optional[int]:
+        """Cached label, or ``None`` (labels themselves are never None)."""
+        key = (version, code)
+        with self._lock:
+            try:
+                label = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return label
+
+    def put(self, version: int, code: int, label: int) -> None:
+        if self.maxsize == 0:
+            return
+        key = (version, code)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = label
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            size = len(self._data)
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,205 @@
+"""Clients for the :mod:`repro.serve` TCP/JSON protocol.
+
+Two flavors over the same newline-delimited JSON wire format:
+
+* :class:`ServeClient` — blocking socket client for scripts, notebooks
+  and tests;
+* :class:`AsyncServeClient` — asyncio client the load generator uses to
+  keep hundreds of concurrent connections cheap.
+
+Both raise :class:`ServeError` on protocol-level failures and surface
+server-side errors as :class:`ServeError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import QueueFullError, ServeError
+
+__all__ = ["ServeClient", "AsyncServeClient", "PredictResult"]
+
+
+class PredictResult:
+    """Labels plus the identity of the model version that produced them."""
+
+    __slots__ = ("labels", "version", "fingerprint")
+
+    def __init__(self, labels: List[int], version: int, fingerprint: str):
+        self.labels = labels
+        self.version = version
+        self.fingerprint = fingerprint
+
+    @property
+    def label(self) -> int:
+        """The label, for single-point predicts."""
+        return self.labels[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PredictResult(labels={self.labels!r}, version={self.version}, "
+            f"fingerprint={self.fingerprint!r})"
+        )
+
+
+def _as_payload(x: Union[np.ndarray, Sequence[float]]) -> Any:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim not in (1, 2):
+        raise ServeError("predict expects one point (1-D) or a batch (2-D)")
+    return arr.tolist()
+
+
+def _raise_on_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        message = response.get("error", "unknown server error")
+        if response.get("retryable"):
+            raise QueueFullError(message)
+        raise ServeError(message)
+    return response
+
+
+def _predict_result(response: Dict[str, Any]) -> PredictResult:
+    return PredictResult(
+        labels=list(response["labels"]),
+        version=int(response["version"]),
+        fingerprint=str(response["fingerprint"]),
+    )
+
+
+class ServeClient:
+    """Blocking client; one TCP connection, requests pipelined in order.
+
+    Usable as a context manager::
+
+        with ServeClient("127.0.0.1", 8765) as client:
+            print(client.predict([0.1] * 16).label)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServeError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request dict, return the raw response dict."""
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServeError(f"connection to server lost: {exc}") from exc
+        if not line:
+            raise ServeError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- operations ------------------------------------------------------------
+
+    def predict(self, x: Union[np.ndarray, Sequence[float]]) -> PredictResult:
+        response = _raise_on_error(self.request({"op": "predict",
+                                                 "x": _as_payload(x)}))
+        return _predict_result(response)
+
+    def model_info(self) -> Dict[str, Any]:
+        return _raise_on_error(self.request({"op": "model-info"}))
+
+    def stats(self) -> Dict[str, Any]:
+        return _raise_on_error(self.request({"op": "stats"}))
+
+    def healthz(self) -> Dict[str, Any]:
+        return _raise_on_error(self.request({"op": "healthz"}))
+
+    def reload(self, path: str, tag: Optional[str] = None) -> int:
+        """Ask the server to hot-swap in a model file; returns new version."""
+        response = _raise_on_error(self.request({"op": "reload", "path": str(path),
+                                                 "tag": tag}))
+        return int(response["version"])
+
+    def shutdown(self) -> None:
+        """Request a clean server shutdown (response confirms it is stopping)."""
+        _raise_on_error(self.request({"op": "shutdown"}))
+
+
+class AsyncServeClient:
+    """Asyncio client for high-concurrency use (one connection per instance)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        # Responses come back in request order on one connection, so
+        # concurrent callers must not interleave their write/read pairs.
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncServeClient":
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        return self
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._reader is None or self._writer is None:
+            raise ServeError("client is not connected; call connect() first")
+        async with self._lock:
+            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return json.loads(line)
+
+    async def predict(self, x: Union[np.ndarray, Sequence[float]]) -> PredictResult:
+        response = _raise_on_error(await self.request({"op": "predict",
+                                                       "x": _as_payload(x)}))
+        return _predict_result(response)
+
+    async def healthz(self) -> Dict[str, Any]:
+        return _raise_on_error(await self.request({"op": "healthz"}))
+
+    async def stats(self) -> Dict[str, Any]:
+        return _raise_on_error(await self.request({"op": "stats"}))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

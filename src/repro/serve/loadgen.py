@@ -1,0 +1,201 @@
+"""Closed- and open-loop load generation against a model server.
+
+Two canonical traffic shapes from the serving literature:
+
+* **closed loop** — ``n_clients`` virtual users, each waiting for its
+  response before sending the next request. Throughput is
+  concurrency-limited; this is what "N threads hammering the service"
+  looks like and what gives micro-batching its coalescing opportunity.
+* **open loop** — requests fired on a fixed schedule (``rate`` per
+  second) regardless of completions, the right model for independent
+  external arrivals; latency degrades visibly when the server saturates
+  instead of the load silently self-throttling.
+
+Both record per-request latency, failures, and the set of model versions
+observed, so a hot-swap test can assert "zero failed requests and every
+response labeled by exactly one version, old or new".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.client import AsyncServeClient
+from repro.serve.stats import quantiles
+from repro.util.validation import check_array_2d
+
+__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    requests_sent: int = 0
+    requests_ok: int = 0
+    requests_failed: int = 0
+    duration_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    versions_seen: Set[int] = field(default_factory=set)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests_ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_quantiles(self) -> Dict[str, float]:
+        return quantiles(self.latencies_s)
+
+    def render(self) -> str:
+        q = self.latency_quantiles()
+        lines = [
+            f"loadgen ({self.mode} loop)",
+            f"  requests: {self.requests_ok} ok / {self.requests_failed} failed "
+            f"of {self.requests_sent} in {self.duration_s:.3f}s",
+            f"  throughput: {self.throughput_rps:,.0f} req/s",
+            f"  latency: p50={q['p50'] * 1e3:.2f}ms  p90={q['p90'] * 1e3:.2f}ms  "
+            f"p99={q['p99'] * 1e3:.2f}ms",
+            f"  model versions seen: {sorted(self.versions_seen)}",
+        ]
+        if self.errors:
+            lines.append(f"  first errors: {self.errors[:3]}")
+        return "\n".join(lines)
+
+
+def _request_pool(points: np.ndarray) -> np.ndarray:
+    points = check_array_2d(points, "points")
+    if points.shape[0] == 0:
+        raise ServeError("loadgen needs at least one point to send")
+    return np.asarray(points, dtype=np.float64)
+
+
+async def _closed_loop_async(
+    host: str,
+    port: int,
+    points: np.ndarray,
+    n_requests: int,
+    n_clients: int,
+) -> LoadReport:
+    report = LoadReport(mode="closed")
+    pool = _request_pool(points)
+    counter = {"next": 0}
+
+    async def worker(client_idx: int) -> None:
+        client = AsyncServeClient(host, port)
+        await client.connect()
+        try:
+            while True:
+                i = counter["next"]
+                if i >= n_requests:
+                    return
+                counter["next"] = i + 1
+                row = pool[i % pool.shape[0]]
+                report.requests_sent += 1
+                t0 = time.perf_counter()
+                try:
+                    result = await client.predict(row)
+                except ServeError as exc:
+                    report.requests_failed += 1
+                    report.errors.append(str(exc))
+                else:
+                    report.requests_ok += 1
+                    report.latencies_s.append(time.perf_counter() - t0)
+                    report.versions_seen.add(result.version)
+        finally:
+            await client.close()
+
+    t_start = time.perf_counter()
+    await asyncio.gather(*(worker(c) for c in range(max(1, n_clients))))
+    report.duration_s = time.perf_counter() - t_start
+    return report
+
+
+async def _open_loop_async(
+    host: str,
+    port: int,
+    points: np.ndarray,
+    rate: float,
+    duration_s: float,
+    n_connections: int,
+) -> LoadReport:
+    report = LoadReport(mode="open")
+    pool = _request_pool(points)
+    if rate <= 0:
+        raise ServeError("open-loop rate must be > 0 requests/s")
+    clients = [AsyncServeClient(host, port) for _ in range(max(1, n_connections))]
+    for client in clients:
+        await client.connect()
+    in_flight: List[asyncio.Task] = []
+
+    async def fire(row: np.ndarray, client: AsyncServeClient) -> None:
+        report.requests_sent += 1
+        t0 = time.perf_counter()
+        try:
+            result = await client.predict(row)
+        except ServeError as exc:
+            report.requests_failed += 1
+            report.errors.append(str(exc))
+        else:
+            report.requests_ok += 1
+            report.latencies_s.append(time.perf_counter() - t0)
+            report.versions_seen.add(result.version)
+
+    interval = 1.0 / rate
+    t_start = time.perf_counter()
+    i = 0
+    try:
+        while True:
+            now = time.perf_counter()
+            if now - t_start >= duration_s:
+                break
+            # Arrival schedule is fixed a priori — the defining open-loop
+            # property: we do NOT wait for completions before the next send.
+            target = t_start + i * interval
+            delay = target - now
+            if delay > 0:
+                await asyncio.sleep(delay)
+            row = pool[i % pool.shape[0]]
+            client = clients[i % len(clients)]
+            in_flight.append(asyncio.ensure_future(fire(row, client)))
+            i += 1
+        if in_flight:
+            await asyncio.gather(*in_flight)
+    finally:
+        for client in clients:
+            await client.close()
+    report.duration_s = time.perf_counter() - t_start
+    return report
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    points: np.ndarray,
+    n_requests: int = 1000,
+    n_clients: int = 16,
+) -> LoadReport:
+    """Closed-loop run: ``n_clients`` users, one outstanding request each."""
+    return asyncio.run(
+        _closed_loop_async(host, port, points, n_requests, n_clients)
+    )
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    points: np.ndarray,
+    rate: float = 2000.0,
+    duration_s: float = 1.0,
+    n_connections: int = 16,
+) -> LoadReport:
+    """Open-loop run: fire ``rate`` req/s for ``duration_s`` seconds."""
+    return asyncio.run(
+        _open_loop_async(host, port, points, rate, duration_s, n_connections)
+    )

@@ -1,0 +1,363 @@
+"""Online model server: asyncio TCP front-end over the serve pipeline.
+
+Stdlib-only (asyncio + json) newline-delimited JSON protocol. One request
+per line, one response per line::
+
+    {"op": "predict", "x": [0.1, 0.2, ...]}          # single point
+    {"op": "predict", "x": [[...], [...]]}           # batch of points
+    {"op": "model-info"}
+    {"op": "stats"}
+    {"op": "healthz"}
+    {"op": "reload", "path": "model.json", "tag": "nightly"}
+    {"op": "shutdown"}
+
+Responses always carry ``"ok"``; predict responses carry ``"labels"``,
+``"version"`` and ``"fingerprint"`` — the exact model version that
+labeled the points, which stays meaningful across hot-swaps.
+
+Single-point predicts flow through the :class:`MicroBatcher`, so many
+concurrent clients coalesce into vectorized model calls. Multi-point
+predicts are already batches and go straight to the service. The split
+matters: micro-batching buys ~an order of magnitude of throughput for
+the single-point case (see ``benchmarks/test_serve_throughput.py``)
+while adding nothing but latency to requests that arrive pre-batched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import KeyBin2Model
+from repro.errors import QueueFullError, ServeError, ValidationError
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import LabelCache
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.stats import ServeStats
+
+__all__ = ["InferenceService", "ModelServer", "ServerHandle", "serve_in_thread"]
+
+
+class InferenceService:
+    """Registry + cache + stats composed into the predict pipeline.
+
+    This is the transport-free core the TCP server, the in-process
+    benchmarks, and the CI smoke test all share. A whole batch is labeled
+    by ONE registry snapshot, taken at the top of :meth:`predict_rows` —
+    the hot-swap consistency guarantee lives on that line.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        cache: Optional[LabelCache] = None,
+        stats: Optional[ServeStats] = None,
+    ):
+        self.registry = registry
+        self.cache = cache if cache is not None else LabelCache()
+        self.stats = stats if stats is not None else ServeStats()
+
+    def predict_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, ModelRecord]:
+        """Label a (B × N) batch; returns ``(labels, record)``.
+
+        The label of a point is a pure function of its grid cell, so the
+        cluster-table lookup is served from the LRU per unique cell code;
+        only codes never seen under this model version hit the table.
+        """
+        record = self.registry.current()  # one consistent snapshot per batch
+        model = record.model
+        codes = model.cell_codes_for(rows)
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        uniq_labels = np.empty(uniq.size, dtype=np.int64)
+        miss_positions = []
+        for i, code in enumerate(uniq):
+            hit = self.cache.get(record.version, int(code))
+            if hit is None:
+                miss_positions.append(i)
+            else:
+                uniq_labels[i] = hit
+        if miss_positions:
+            fresh = model.table.lookup(uniq[miss_positions])
+            for pos, label in zip(miss_positions, fresh):
+                uniq_labels[pos] = label
+                self.cache.put(record.version, int(uniq[pos]), int(label))
+        return uniq_labels[inverse], record
+
+    def predict_single(self, row: np.ndarray) -> Tuple[int, ModelRecord]:
+        """One point per call — the naive loop the batcher is measured against."""
+        labels, record = self.predict_rows(np.asarray(row, dtype=np.float64)[None, :])
+        return int(labels[0]), record
+
+
+class ModelServer:
+    """Asyncio TCP server exposing a registry-backed model.
+
+    Parameters
+    ----------
+    registry:
+        Shared :class:`ModelRegistry`. Publishing to it (from streaming
+        refresh, another thread, or the ``reload`` RPC) hot-swaps what
+        this server answers with, without dropping in-flight requests.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`bound_port` after :meth:`start`).
+    policy:
+        Micro-batching knobs (:class:`BatchPolicy`).
+    cache_size:
+        LRU label-cache entries (0 disables).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: Optional[BatchPolicy] = None,
+        cache_size: int = 65536,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.policy = policy or BatchPolicy()
+        self.stats = ServeStats()
+        self.cache = LabelCache(cache_size)
+        self.service = InferenceService(registry, cache=self.cache, stats=self.stats)
+        self.batcher = MicroBatcher(
+            self.service.predict_rows, self.policy, stats=self.stats
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self.bound_port: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._shutdown = asyncio.Event()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` RPC arrives or :meth:`stop` is called."""
+        if self._server is None:
+            await self.start()
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        await self.batcher.stop()
+        self._server = None
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                stop_after = response.pop("_shutdown", False)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+                if stop_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # client vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.stats.record_error()
+            return {"ok": False, "error": f"malformed JSON request: {exc}"}
+        if not isinstance(request, dict):
+            self.stats.record_error()
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        try:
+            if op == "predict":
+                return await self._op_predict(request)
+            if op == "model-info":
+                return {"ok": True, **self.registry.current().info()}
+            if op == "stats":
+                return {"ok": True, **self._stats_payload()}
+            if op == "healthz":
+                return self._op_healthz()
+            if op == "reload":
+                return self._op_reload(request)
+            if op == "shutdown":
+                assert self._shutdown is not None
+                self._shutdown.set()
+                return {"ok": True, "stopping": True, "_shutdown": True}
+            self.stats.record_error()
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except QueueFullError as exc:
+            return {"ok": False, "error": str(exc), "retryable": True}
+        except (ServeError, ValidationError) as exc:
+            self.stats.record_error()
+            return {"ok": False, "error": str(exc)}
+
+    async def _op_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        x = request.get("x")
+        if x is None:
+            raise ValidationError("predict request needs an 'x' field")
+        rows = np.asarray(x, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ValidationError("'x' must be one point or a non-empty batch")
+        self.stats.record_request(rows.shape[0])
+        if rows.shape[0] == 1:
+            label, record = await self.batcher.submit(rows[0])
+            labels = [label]
+        else:
+            # Pre-batched request: vectorize directly, skip the linger.
+            t0 = time.perf_counter()
+            arr, record = self.service.predict_rows(rows)
+            self.stats.record_batch(
+                rows.shape[0], time.perf_counter() - t0, record.version
+            )
+            labels = [int(v) for v in arr]
+        return {
+            "ok": True,
+            "labels": labels,
+            "version": record.version,
+            "fingerprint": record.fingerprint,
+        }
+
+    def _op_healthz(self) -> Dict[str, Any]:
+        record = self.registry.current_or_none()
+        return {
+            "ok": True,
+            "status": "serving" if record is not None else "no-model",
+            "version": None if record is None else record.version,
+            "uptime_s": round(self.stats.uptime_s, 3),
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    def _op_reload(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        path = request.get("path")
+        if not path:
+            raise ValidationError("reload request needs a 'path' field")
+        try:
+            model = KeyBin2Model.load(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # A missing/corrupt file must not kill the connection — the
+            # currently published model keeps serving.
+            raise ServeError(f"reload failed for {path!r}: {exc}") from None
+        version = self.registry.publish(model, tag=request.get("tag"))
+        return {"ok": True, "version": version}
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        payload = self.stats.snapshot()
+        payload["cache"] = self.cache.snapshot()
+        payload["queue_depth"] = self.batcher.queue_depth
+        payload["registry"] = self.registry.info()
+        return payload
+
+
+class ServerHandle:
+    """A :class:`ModelServer` running on a daemon thread (test/bench helper)."""
+
+    def __init__(self, server: ModelServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.server = server
+        self.thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.server.bound_port is not None
+        return self.server.host, self.server.bound_port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.thread.is_alive():
+            try:
+                asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+            except RuntimeError:  # loop already closing on its own
+                pass
+            self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - watchdog only
+            raise ServeError("server thread failed to stop in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    registry: ModelRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    policy: Optional[BatchPolicy] = None,
+    cache_size: int = 65536,
+    startup_timeout: float = 10.0,
+) -> ServerHandle:
+    """Start a :class:`ModelServer` on a background thread; block until bound.
+
+    The returned handle is a context manager::
+
+        with serve_in_thread(registry) as handle:
+            client = ServeClient(*handle.address)
+            ...
+    """
+    server = ModelServer(registry, host=host, port=port,
+                         policy=policy, cache_size=cache_size)
+    started = threading.Event()
+    failure: Dict[str, BaseException] = {}
+    loop_holder: Dict[str, asyncio.AbstractEventLoop] = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder["loop"] = loop
+
+        async def _main():
+            try:
+                await server.start()
+            finally:
+                started.set()
+            await server.serve_until_shutdown()
+
+        try:
+            loop.run_until_complete(_main())
+        except BaseException as exc:  # surface bind errors to the caller
+            failure["exc"] = exc
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(startup_timeout):
+        raise ServeError("server failed to start within timeout")
+    if "exc" in failure:
+        raise ServeError(f"server failed to start: {failure['exc']}")
+    return ServerHandle(server, thread, loop_holder["loop"])

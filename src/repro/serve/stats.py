@@ -1,0 +1,119 @@
+"""Serving-side operational metrics.
+
+One :class:`ServeStats` instance is shared by the micro-batcher and the
+server front-end. Everything here is cheap increment-only counting on
+the hot path; aggregation (throughput, histograms, quantiles) happens at
+:meth:`ServeStats.snapshot` time, which is what the ``stats`` RPC
+returns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List
+
+__all__ = ["ServeStats", "quantiles"]
+
+
+def _bucket(n: int) -> int:
+    """Power-of-two bucket floor for the batch-size histogram."""
+    b = 1
+    while b * 2 <= n:
+        b *= 2
+    return b
+
+
+class ServeStats:
+    """Counters + batch-size histogram for one serving process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.requests_total = 0
+        self.points_total = 0
+        self.errors_total = 0
+        self.rejected_total = 0  # backpressure rejections (queue full)
+        self.batches_total = 0
+        self.batched_points_total = 0
+        self.service_time_s = 0.0  # time inside model predict calls
+        self.batch_size_hist: Dict[int, int] = {}
+        self.max_batch_seen = 0
+        self.versions_served: Dict[int, int] = {}  # version -> points labeled
+
+    # -- hot-path recording --------------------------------------------------
+
+    def record_request(self, n_points: int) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.points_total += int(n_points)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected_total += 1
+
+    def record_batch(self, size: int, service_s: float, version: int) -> None:
+        b = _bucket(max(int(size), 1))
+        with self._lock:
+            self.batches_total += 1
+            self.batched_points_total += int(size)
+            self.service_time_s += float(service_s)
+            self.batch_size_hist[b] = self.batch_size_hist.get(b, 0) + 1
+            if size > self.max_batch_seen:
+                self.max_batch_seen = int(size)
+            self.versions_served[version] = (
+                self.versions_served.get(version, 0) + int(size)
+            )
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        return time.perf_counter() - self._t0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (
+            self.batched_points_total / self.batches_total
+            if self.batches_total else 0.0
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly summary (the ``stats`` RPC payload)."""
+        with self._lock:
+            uptime = self.uptime_s
+            hist = {str(k): v for k, v in sorted(self.batch_size_hist.items())}
+            return {
+                "uptime_s": round(uptime, 3),
+                "requests_total": self.requests_total,
+                "points_total": self.points_total,
+                "errors_total": self.errors_total,
+                "rejected_total": self.rejected_total,
+                "throughput_rps": round(self.requests_total / uptime, 1)
+                if uptime > 0 else 0.0,
+                "batches_total": self.batches_total,
+                "mean_batch_size": round(self.mean_batch_size, 2),
+                "max_batch_seen": self.max_batch_seen,
+                "batch_size_hist": hist,
+                "service_time_s": round(self.service_time_s, 4),
+                "versions_served": {
+                    str(k): v for k, v in sorted(self.versions_served.items())
+                },
+            }
+
+
+def quantiles(samples: List[float], qs=(0.5, 0.9, 0.99)) -> Dict[str, float]:
+    """Empirical quantiles of a latency sample list (seconds)."""
+    if not samples:
+        return {f"p{int(q * 100)}": 0.0 for q in qs}
+    ordered = sorted(samples)
+    out = {}
+    for q in qs:
+        idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        out[f"p{int(q * 100)}"] = ordered[idx]
+    return out

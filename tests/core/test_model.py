@@ -87,3 +87,65 @@ class TestModelFileRoundTrip:
         path = tmp_path / "model.json"
         kb.model_.save(path)
         assert path.stat().st_size < 64 * 1024
+
+    def test_save_is_atomic_no_temp_residue(self, fitted, tmp_path):
+        """save() must leave exactly the target file, fully written."""
+        kb, x, _ = fitted
+        path = tmp_path / "model.json"
+        kb.model_.save(path)
+        kb.model_.save(path)  # overwrite goes through os.replace too
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+        # The file is complete valid JSON (no torn write possible).
+        import json
+
+        json.loads(path.read_text())
+
+    def test_save_rejects_nan_state(self, fitted, tmp_path):
+        """NaN/Infinity must fail loudly, not emit invalid JSON tokens."""
+        import dataclasses
+
+        kb, _, _ = fitted
+        bad = dataclasses.replace(kb.model_, score=float("nan"))
+        target = tmp_path / "bad.json"
+        with pytest.raises(ValidationError):
+            bad.save(target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp file either
+
+    def test_save_rejects_inf_in_meta(self, fitted, tmp_path):
+        kb, _, _ = fitted
+        model = KeyBin2Model.from_dict(kb.model_.to_dict())
+        model.meta["oops"] = float("inf")
+        with pytest.raises(ValidationError):
+            model.save(tmp_path / "bad.json")
+
+    def test_failed_save_preserves_previous_file(self, fitted, tmp_path):
+        """A hot-reloading server must never observe a clobbered model."""
+        import dataclasses
+
+        kb, x, _ = fitted
+        path = tmp_path / "model.json"
+        kb.model_.save(path)
+        before = path.read_bytes()
+        bad = dataclasses.replace(kb.model_, score=float("nan"))
+        with pytest.raises(ValidationError):
+            bad.save(path)
+        assert path.read_bytes() == before
+
+
+class TestFingerprint:
+    def test_stable_across_round_trip(self, fitted):
+        kb, _, _ = fitted
+        again = KeyBin2Model.from_dict(kb.model_.to_dict())
+        assert again.fingerprint() == kb.model_.fingerprint()
+
+    def test_ignores_meta(self, fitted):
+        kb, _, _ = fitted
+        tagged = KeyBin2Model.from_dict(kb.model_.to_dict())
+        tagged.meta["note"] = "bookkeeping only"
+        assert tagged.fingerprint() == kb.model_.fingerprint()
+
+    def test_differs_for_different_models(self, fitted, small_gaussians):
+        kb, x, _ = fitted
+        other = KeyBin2(n_projections=4, seed=99).fit(x)
+        assert other.model_.fingerprint() != kb.model_.fingerprint()

@@ -1,0 +1,22 @@
+"""Fixtures shared by the serve-layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KeyBin2
+
+
+@pytest.fixture(scope="session")
+def served_model(small_gaussians):
+    """One fitted model reused (read-only) by every serve test."""
+    x, _ = small_gaussians
+    return KeyBin2(n_projections=4, seed=3).fit(x).model_
+
+
+@pytest.fixture(scope="session")
+def alt_model(small_gaussians):
+    """A second, behaviorally distinct model (different seed) for swaps."""
+    x, _ = small_gaussians
+    return KeyBin2(n_projections=4, seed=11).fit(x).model_

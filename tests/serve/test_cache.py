@@ -1,0 +1,73 @@
+"""Tests for the LRU cell-code → label cache."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import LabelCache
+
+
+class TestLabelCache:
+    def test_miss_then_hit(self):
+        cache = LabelCache(maxsize=4)
+        assert cache.get(1, 42) is None
+        cache.put(1, 42, 3)
+        assert cache.get(1, 42) == 3
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_noise_label_is_cacheable(self):
+        """-1 (unseen cell) must round-trip; None is the only miss signal."""
+        cache = LabelCache(maxsize=4)
+        cache.put(1, 7, -1)
+        assert cache.get(1, 7) == -1
+
+    def test_version_isolates_entries(self):
+        cache = LabelCache(maxsize=8)
+        cache.put(1, 42, 3)
+        assert cache.get(2, 42) is None  # new model version: cold
+        cache.put(2, 42, 5)
+        assert cache.get(1, 42) == 3
+        assert cache.get(2, 42) == 5
+
+    def test_lru_eviction_order(self):
+        cache = LabelCache(maxsize=2)
+        cache.put(1, 1, 10)
+        cache.put(1, 2, 20)
+        cache.get(1, 1)        # touch 1 → 2 becomes LRU
+        cache.put(1, 3, 30)    # evicts 2
+        assert cache.get(1, 2) is None
+        assert cache.get(1, 1) == 10
+        assert cache.get(1, 3) == 30
+        assert cache.evictions == 1
+
+    def test_capacity_bound_holds(self):
+        cache = LabelCache(maxsize=16)
+        for code in range(100):
+            cache.put(1, code, code % 5)
+        assert len(cache) == 16
+
+    def test_zero_size_disables(self):
+        cache = LabelCache(maxsize=0)
+        cache.put(1, 42, 3)
+        assert cache.get(1, 42) is None
+        assert len(cache) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            LabelCache(maxsize=-1)
+
+    def test_hit_rate_and_snapshot(self):
+        cache = LabelCache(maxsize=4)
+        cache.put(1, 1, 0)
+        cache.get(1, 1)
+        cache.get(1, 2)
+        snap = cache.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert snap["size"] == 1
+
+    def test_clear(self):
+        cache = LabelCache(maxsize=4)
+        cache.put(1, 1, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(1, 1) is None

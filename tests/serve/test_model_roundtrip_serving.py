@@ -1,0 +1,124 @@
+"""Model round-tripping under serving: the wire format must be lossless.
+
+A served model typically went disk → JSON → load at least once (deploy),
+often more (hot-reload). These tests pin that ``to_dict``/``from_dict``/
+``save``/``load`` preserve predictions bit-exactly — including ``meta``
+carrying numpy scalar types, which `json` cannot serialize natively —
+and that unseen cells stay ``-1`` through the full serve path.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import KeyBin2Model
+from repro.serve import (
+    BatchPolicy,
+    ModelRegistry,
+    ServeClient,
+    serve_in_thread,
+)
+
+
+class TestRoundTripExactness:
+    def test_dict_round_trip_bit_exact(self, served_model, small_gaussians):
+        x, _ = small_gaussians
+        again = KeyBin2Model.from_dict(served_model.to_dict())
+        assert np.array_equal(again.predict(x), served_model.predict(x))
+        assert again.fingerprint() == served_model.fingerprint()
+
+    def test_file_round_trip_bit_exact(self, served_model, small_gaussians,
+                                       tmp_path):
+        x, _ = small_gaussians
+        path = tmp_path / "model.json"
+        served_model.save(path)
+        again = KeyBin2Model.load(path)
+        assert np.array_equal(again.predict(x), served_model.predict(x))
+        assert again.fingerprint() == served_model.fingerprint()
+
+    def test_double_round_trip_stable(self, served_model, tmp_path):
+        """save → load → save must be byte-identical (canonical form)."""
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        served_model.save(p1)
+        KeyBin2Model.load(p1).save(p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_meta_with_numpy_scalars_serializes(self, served_model,
+                                                small_gaussians, tmp_path):
+        x, _ = small_gaussians
+        model = KeyBin2Model.from_dict(served_model.to_dict())
+        model.meta.update({
+            "np_int": np.int64(7),
+            "np_float": np.float32(0.5),
+            "np_bool": np.bool_(True),
+            "np_array": np.arange(3),
+            "nested": {"count": np.int32(9), "vals": [np.float64(1.5)]},
+        })
+        path = tmp_path / "meta.json"
+        model.save(path)  # must not raise on numpy types
+        raw = json.loads(path.read_text())  # and must be plain JSON
+        assert raw["meta"]["np_int"] == 7
+        assert raw["meta"]["np_array"] == [0, 1, 2]
+        assert raw["meta"]["nested"]["count"] == 9
+        again = KeyBin2Model.load(path)
+        assert np.array_equal(again.predict(x), model.predict(x))
+
+    def test_streaming_model_round_trips(self, small_gaussians, tmp_path):
+        """Streaming meta carries eviction counters etc. — must survive."""
+        from repro import StreamingKeyBin2
+
+        x, _ = small_gaussians
+        skb = StreamingKeyBin2(seed=0)
+        for start in range(0, 2000, 500):
+            skb.partial_fit(x[start:start + 500])
+        skb.refresh()
+        path = tmp_path / "streamed.json"
+        skb.model_.save(path)
+        again = KeyBin2Model.load(path)
+        assert np.array_equal(again.predict(x), skb.model_.predict(x))
+        assert again.meta["streaming"] is True
+
+
+class TestServePathSemantics:
+    def test_reloaded_model_serves_identically(self, served_model,
+                                               small_gaussians, tmp_path):
+        """Local predict == served predict after a disk round trip."""
+        x, _ = small_gaussians
+        path = tmp_path / "deploy.json"
+        served_model.save(path)
+        registry = ModelRegistry()
+        registry.publish(KeyBin2Model.load(path))
+        expected = served_model.predict(x[:128])
+        with serve_in_thread(registry,
+                             policy=BatchPolicy(max_delay_s=0.002)) as handle:
+            with ServeClient(*handle.address) as client:
+                assert client.predict(x[:128]).labels == [int(v) for v in expected]
+
+    def test_unseen_cell_is_noise_through_full_serve_path(self, served_model):
+        """A point in a cell unseen at fit time returns -1 over the wire."""
+        far = np.full(16, 1e6)
+        if int(served_model.predict(far[None, :])[0]) != -1:
+            pytest.skip("far point clipped into an occupied boundary cell")
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        with serve_in_thread(registry) as handle:
+            with ServeClient(*handle.address) as client:
+                result = client.predict(far)
+                assert result.label == -1
+                # and again, exercising the label cache hit path
+                assert client.predict(far).label == -1
+
+    def test_unseen_cell_single_and_batch_agree(self, served_model,
+                                                small_gaussians):
+        x, _ = small_gaussians
+        probe = np.vstack([x[:4], np.full((1, 16), 1e6)])
+        expected = [int(v) for v in served_model.predict(probe)]
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        with serve_in_thread(registry) as handle:
+            with ServeClient(*handle.address) as client:
+                batch = client.predict(probe).labels
+                singles = [client.predict(row).label for row in probe]
+        assert batch == expected
+        assert singles == expected
