@@ -170,6 +170,9 @@ def _run_serve(argv: List[str]) -> int:
         description="Serve a fitted KeyBin2 model over TCP/JSON.",
     )
     _serve_common_flags(parser)
+    parser.add_argument("--allow-admin", action="store_true",
+                        help="serve reload/shutdown ops even on a non-loopback "
+                             "--host (default: loopback binds only)")
     args = parser.parse_args(argv)
 
     registry = ModelRegistry()
@@ -177,7 +180,8 @@ def _run_serve(argv: List[str]) -> int:
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_delay_s=args.window_ms / 1000.0,
                          max_queue=args.queue)
-    server = ModelServer(registry, host=args.host, port=args.port, policy=policy)
+    server = ModelServer(registry, host=args.host, port=args.port, policy=policy,
+                         allow_admin=True if args.allow_admin else None)
 
     async def _run():
         await server.start()
@@ -185,7 +189,12 @@ def _run_serve(argv: List[str]) -> int:
         print(f"serving model v{version} (fingerprint {info['fingerprint']}, "
               f"{info['n_clusters']} clusters) on "
               f"{server.host}:{server.bound_port}")
-        print("ops: predict, model-info, stats, healthz, reload, shutdown")
+        ops = "predict, model-info, stats, healthz"
+        if server.allow_admin:
+            ops += ", reload, shutdown"
+        else:
+            ops += "  (reload/shutdown disabled; pass --allow-admin)"
+        print(f"ops: {ops}")
         await server.serve_until_shutdown()
 
     try:

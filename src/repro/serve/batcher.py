@@ -118,6 +118,7 @@ class MicroBatcher:
         self._task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopping = False
+        self._crashed: Optional[BaseException] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -127,6 +128,7 @@ class MicroBatcher:
         self._loop = asyncio.get_running_loop()
         self._wakeup = asyncio.Event()
         self._stopping = False
+        self._crashed = None
         self._task = self._loop.create_task(self._worker())
         return self
 
@@ -157,6 +159,11 @@ class MicroBatcher:
         """
         if self._task is None or self._stopping:
             raise ServeError("batcher is not running")
+        if self._crashed is not None:
+            raise ServeError(
+                f"batcher worker crashed and can no longer serve: "
+                f"{self._crashed!r}"
+            )
         if len(self._pending) >= self.policy.max_queue:
             if self.stats is not None:
                 self.stats.record_rejected()
@@ -176,6 +183,24 @@ class MicroBatcher:
     # -- worker ---------------------------------------------------------------
 
     async def _worker(self) -> None:
+        try:
+            await self._worker_loop()
+        except Exception as exc:
+            # _flush confines per-batch failures to that batch's futures, so
+            # reaching here means the loop itself broke. Fail everything
+            # pending (no client left hanging) and mark the batcher dead so
+            # submit() raises instead of enqueueing rows nobody will flush.
+            self._crashed = exc
+            pending, self._pending = self._pending, []
+            for _, fut in pending:
+                if not fut.done():
+                    fut.set_exception(
+                        ServeError(f"batcher worker crashed: {exc!r}")
+                    )
+            if self.stats is not None:
+                self.stats.record_error()
+
+    async def _worker_loop(self) -> None:
         assert self._wakeup is not None
         policy = self.policy
         while True:
@@ -216,13 +241,33 @@ class MicroBatcher:
                 self._wakeup.clear()
                 if self._stopping:
                     self._wakeup.set()  # let the loop observe the drain
-            self._flush(batch)
+            try:
+                self._flush(batch)
+            except Exception as exc:
+                # _flush failing is a bug (it confines per-batch errors
+                # itself) — but this batch is already popped, so fail its
+                # futures here before the crash wrapper handles the rest.
+                for _, fut in batch:
+                    if not fut.done():
+                        fut.set_exception(
+                            ServeError(f"batcher worker crashed: {exc!r}")
+                        )
+                raise
 
     def _flush(self, batch: List[Tuple[np.ndarray, asyncio.Future]]) -> None:
-        rows = np.asarray([row for row, _ in batch], dtype=np.float64)
         t0 = time.perf_counter()
         try:
-            labels, extra = self.predict_rows(rows)
+            # Stacking is inside the try: mismatched row lengths (callers
+            # bypassing the server's per-row validation) must reject this
+            # batch's futures, not kill the worker task.
+            rows = np.asarray([row for row, _ in batch], dtype=np.float64)
+            raw_labels, extra = self.predict_rows(rows)
+            labels = [int(v) for v in raw_labels]
+            if len(labels) != len(batch):
+                raise ServeError(
+                    f"predict_rows returned {len(labels)} labels "
+                    f"for {len(batch)} rows"
+                )
         except Exception as exc:
             for _, fut in batch:
                 if not fut.done():
@@ -231,9 +276,11 @@ class MicroBatcher:
                 self.stats.record_error()
             return
         service_s = time.perf_counter() - t0
+        # Resolve futures before stats bookkeeping: a stats failure must
+        # never strand a batch that was already labeled successfully.
+        for (_, fut), label in zip(batch, labels):
+            if not fut.done():
+                fut.set_result((label, extra))
         if self.stats is not None:
             version = getattr(extra, "version", -1)
             self.stats.record_batch(len(batch), service_s, version)
-        for (_, fut), label in zip(batch, labels):
-            if not fut.done():
-                fut.set_result((int(label), extra))

@@ -51,20 +51,25 @@ class ModelRecord:
     published_at: float
     tag: Optional[str] = None
 
-    def info(self) -> Dict[str, Any]:
-        """JSON-friendly summary (what the ``model-info`` RPC returns)."""
+    @property
+    def n_features(self) -> int:
+        """Raw input dimensionality this model expects from ``predict``."""
         m = self.model
-        n_features = (
+        return (
             int(m.projection.shape[0]) if m.projection is not None
             else int(m.kept_dims.size)
         )
+
+    def info(self) -> Dict[str, Any]:
+        """JSON-friendly summary (what the ``model-info`` RPC returns)."""
+        m = self.model
         return {
             "version": self.version,
             "fingerprint": self.fingerprint,
             "tag": self.tag,
             "published_at": self.published_at,
             "n_clusters": int(m.n_clusters),
-            "n_features": n_features,
+            "n_features": self.n_features,
             "n_projected_dims": int(m.n_projected_dims),
             "depth": int(m.depth),
             "score": float(m.score),

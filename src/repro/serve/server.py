@@ -8,8 +8,12 @@ per line, one response per line::
     {"op": "model-info"}
     {"op": "stats"}
     {"op": "healthz"}
-    {"op": "reload", "path": "model.json", "tag": "nightly"}
-    {"op": "shutdown"}
+    {"op": "reload", "path": "model.json", "tag": "nightly"}   # admin
+    {"op": "shutdown"}                                         # admin
+
+Admin ops (``reload``, ``shutdown``) are served only on loopback binds
+unless ``allow_admin=True`` — anyone who can reach the socket could
+otherwise load arbitrary files or stop the process.
 
 Responses always carry ``"ok"``; predict responses carry ``"labels"``,
 ``"version"`` and ``"fingerprint"`` — the exact model version that
@@ -110,7 +114,16 @@ class ModelServer:
         Micro-batching knobs (:class:`BatchPolicy`).
     cache_size:
         LRU label-cache entries (0 disables).
+    allow_admin:
+        Whether the ``reload`` and ``shutdown`` ops are served. They let
+        any client that can reach the socket read an arbitrary filesystem
+        path or stop the process, so the default (``None``) enables them
+        only on loopback binds; pass ``True`` to enable them on an
+        exposed ``host`` (put real auth in front first) or ``False`` to
+        disable them everywhere.
     """
+
+    _LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
 
     def __init__(
         self,
@@ -119,10 +132,14 @@ class ModelServer:
         port: int = 0,
         policy: Optional[BatchPolicy] = None,
         cache_size: int = 65536,
+        allow_admin: Optional[bool] = None,
     ):
         self.registry = registry
         self.host = host
         self.port = port
+        self.allow_admin = (
+            host in self._LOOPBACK_HOSTS if allow_admin is None else allow_admin
+        )
         self.policy = policy or BatchPolicy()
         self.stats = ServeStats()
         self.cache = LabelCache(cache_size)
@@ -208,8 +225,15 @@ class ModelServer:
                 return {"ok": True, **self._stats_payload()}
             if op == "healthz":
                 return self._op_healthz()
+            if op in ("reload", "shutdown") and not self.allow_admin:
+                self.stats.record_error()
+                return {
+                    "ok": False,
+                    "error": f"admin op {op!r} is disabled on this server "
+                             "(non-loopback bind without allow_admin)",
+                }
             if op == "reload":
-                return self._op_reload(request)
+                return await self._op_reload(request)
             if op == "shutdown":
                 assert self._shutdown is not None
                 self._shutdown.set()
@@ -226,13 +250,30 @@ class ModelServer:
         x = request.get("x")
         if x is None:
             raise ValidationError("predict request needs an 'x' field")
-        rows = np.asarray(x, dtype=np.float64)
+        try:
+            rows = np.asarray(x, dtype=np.float64)
+        except (ValueError, TypeError):
+            raise ValidationError(
+                "'x' must be a numeric point or a batch of equal-length points"
+            ) from None
         if rows.ndim == 1:
             rows = rows[None, :]
         if rows.ndim != 2 or rows.shape[0] == 0:
             raise ValidationError("'x' must be one point or a non-empty batch")
         self.stats.record_request(rows.shape[0])
         if rows.shape[0] == 1:
+            # Validate the lone row before it enters the micro-batcher: it
+            # shares a flush (one stacked matrix, one model call) with other
+            # clients' rows, and one bad row must not fail their requests.
+            expected = self.registry.current().n_features
+            if rows.shape[1] != expected:
+                raise ValidationError(
+                    f"model expects {expected} features, got {rows.shape[1]}"
+                )
+            if not np.all(np.isfinite(rows)):
+                raise ValidationError(
+                    "'x' contains non-finite value(s) (NaN/Inf)"
+                )
             label, record = await self.batcher.submit(rows[0])
             labels = [label]
         else:
@@ -260,17 +301,24 @@ class ModelServer:
             "queue_depth": self.batcher.queue_depth,
         }
 
-    def _op_reload(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    async def _op_reload(self, request: Dict[str, Any]) -> Dict[str, Any]:
         path = request.get("path")
         if not path:
             raise ValidationError("reload request needs a 'path' field")
-        try:
+        tag = request.get("tag")
+
+        def _load_and_publish() -> int:
             model = KeyBin2Model.load(path)
+            return self.registry.publish(model, tag=tag)
+
+        try:
+            # File IO + fingerprint hashing are slow; run them off the event
+            # loop so in-flight predicts keep flowing during a reload.
+            version = await asyncio.to_thread(_load_and_publish)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             # A missing/corrupt file must not kill the connection — the
             # currently published model keeps serving.
             raise ServeError(f"reload failed for {path!r}: {exc}") from None
-        version = self.registry.publish(model, tag=request.get("tag"))
         return {"ok": True, "version": version}
 
     def _stats_payload(self) -> Dict[str, Any]:
@@ -319,6 +367,7 @@ def serve_in_thread(
     policy: Optional[BatchPolicy] = None,
     cache_size: int = 65536,
     startup_timeout: float = 10.0,
+    allow_admin: Optional[bool] = None,
 ) -> ServerHandle:
     """Start a :class:`ModelServer` on a background thread; block until bound.
 
@@ -328,8 +377,8 @@ def serve_in_thread(
             client = ServeClient(*handle.address)
             ...
     """
-    server = ModelServer(registry, host=host, port=port,
-                         policy=policy, cache_size=cache_size)
+    server = ModelServer(registry, host=host, port=port, policy=policy,
+                         cache_size=cache_size, allow_admin=allow_admin)
     started = threading.Event()
     failure: Dict[str, BaseException] = {}
     loop_holder: Dict[str, asyncio.AbstractEventLoop] = {}
@@ -340,18 +389,19 @@ def serve_in_thread(
         loop_holder["loop"] = loop
 
         async def _main():
-            try:
-                await server.start()
-            finally:
-                started.set()
+            await server.start()
+            started.set()  # only after a successful bind
             await server.serve_until_shutdown()
 
         try:
             loop.run_until_complete(_main())
         except BaseException as exc:  # surface bind errors to the caller
             failure["exc"] = exc
-            started.set()
         finally:
+            # Released only after any failure is recorded, so the waiting
+            # caller can never observe "started" with a failed-but-silent
+            # bind (it would hand back a handle whose bound_port is None).
+            started.set()
             loop.close()
 
     thread = threading.Thread(target=_run, name="repro-serve", daemon=True)

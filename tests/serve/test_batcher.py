@@ -182,6 +182,51 @@ class TestFailureAndBackpressure:
 
         run(scenario())
 
+    def test_ragged_rows_fail_batch_without_killing_worker(self):
+        """Rows of mismatched lengths in one flush must reject that batch's
+        futures (np.asarray cannot stack them) — not crash the worker and
+        leave every later submit hanging forever."""
+        async def scenario():
+            rec = _Recorder()
+            batcher = MicroBatcher(
+                rec, BatchPolicy(max_batch=8, max_delay_s=0.01)
+            ).start()
+            bad = await asyncio.gather(
+                batcher.submit(np.array([1.0, 2.0])),
+                batcher.submit(np.array([1.0, 2.0, 3.0])),
+                return_exceptions=True,
+            )
+            # The worker survived: a well-formed follow-up still round-trips.
+            label, _ = await batcher.submit(np.array([4.0, 0.0]))
+            await batcher.stop()
+            return bad, label
+
+        bad, label = run(scenario())
+        assert all(isinstance(r, Exception) for r in bad)
+        assert label == 4
+
+    def test_worker_crash_fails_pending_and_marks_dead(self):
+        """If the worker loop itself dies, pending futures must be failed
+        (not left hanging) and later submits must raise, not enqueue rows
+        nobody will ever flush."""
+        async def scenario():
+            batcher = MicroBatcher(
+                _Recorder(), BatchPolicy(max_batch=8, max_delay_s=0.01)
+            ).start()
+
+            def exploding_flush(batch):
+                raise RuntimeError("synthetic worker bug")
+
+            batcher._flush = exploding_flush
+            with pytest.raises(ServeError, match="crashed"):
+                await batcher.submit(np.array([1.0]))
+            await asyncio.sleep(0)  # let the worker task finish unwinding
+            with pytest.raises(ServeError, match="crashed"):
+                batcher.submit_nowait(np.array([2.0]))
+            assert batcher.queue_depth == 0
+
+        run(scenario())
+
     def test_stop_drains_pending(self):
         async def scenario():
             rec = _Recorder()

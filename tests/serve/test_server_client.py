@@ -97,6 +97,125 @@ class TestProtocol:
             ServeClient("127.0.0.1", 1, timeout=0.5)
 
 
+class TestBadInput:
+    """Hostile/buggy client payloads must get clean error responses —
+    never a dropped connection, a hung request, or a bricked server."""
+
+    def test_non_numeric_x_is_clean_error(self, live, small_gaussians):
+        _, _, client = live
+        response = client.request({"op": "predict", "x": ["a", "b"]})
+        assert response["ok"] is False
+        assert "numeric" in response["error"]
+        # Same connection keeps working afterwards.
+        x, _ = small_gaussians
+        assert client.predict(x[0]).version == 1
+
+    def test_ragged_batch_is_clean_error(self, live):
+        _, _, client = live
+        response = client.request(
+            {"op": "predict", "x": [[1.0, 2.0], [3.0]]}
+        )
+        assert response["ok"] is False
+
+    def test_nested_garbage_x_is_clean_error(self, live):
+        _, _, client = live
+        response = client.request({"op": "predict", "x": {"not": "a point"}})
+        assert response["ok"] is False
+
+    def test_nan_point_rejected_individually(self, live, small_gaussians):
+        _, _, client = live
+        bad = [float("nan")] * 16
+        response = client.request({"op": "predict", "x": bad})
+        assert response["ok"] is False
+        assert "non-finite" in response["error"]
+        x, _ = small_gaussians
+        assert client.predict(x[0]).version == 1
+
+    def test_bad_rows_do_not_poison_concurrent_clients(self, live,
+                                                       small_gaussians):
+        """Single-point rows are validated BEFORE entering the micro-batcher,
+        so a client spamming wrong-length / NaN points cannot fail the flush
+        that labels other clients' valid requests."""
+        _, handle, _ = live
+        x, _ = small_gaussians
+        host, port = handle.address
+        stop = threading.Event()
+        bad_rejections = []
+
+        def attacker():
+            with ServeClient(host, port) as bad_client:
+                while not stop.is_set():
+                    for payload in ([1.0, 2.0, 3.0], [float("nan")] * 16):
+                        response = bad_client.request(
+                            {"op": "predict", "x": payload}
+                        )
+                        bad_rejections.append(response["ok"])
+
+        thread = threading.Thread(target=attacker)
+        thread.start()
+        try:
+            report = run_closed_loop(host, port, x[:100], n_requests=600,
+                                     n_clients=6)
+        finally:
+            stop.set()
+            thread.join()
+        assert report.requests_failed == 0
+        assert report.requests_ok == 600
+        assert bad_rejections and not any(bad_rejections)
+
+    def test_server_survives_bad_input_storm(self, live, small_gaussians):
+        """After a burst of malformed requests the batcher worker is still
+        alive and serving (the historical failure mode was a dead worker:
+        submits accepted, never flushed)."""
+        _, _, client = live
+        for payload in (["x"], [[1.0], [2.0, 3.0]], [float("inf")] * 16,
+                        [0.0] * 3, []):
+            assert client.request({"op": "predict", "x": payload})["ok"] is False
+        x, _ = small_gaussians
+        result = client.predict(x[0])
+        assert result.version == 1
+        assert client.healthz()["queue_depth"] == 0
+
+
+class TestAdminGating:
+    def test_admin_ops_can_be_disabled(self, served_model, small_gaussians):
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        x, _ = small_gaussians
+        with serve_in_thread(registry, allow_admin=False) as handle:
+            with ServeClient(*handle.address) as client:
+                with pytest.raises(ServeError, match="disabled"):
+                    client.reload("/etc/passwd")
+                with pytest.raises(ServeError, match="disabled"):
+                    client.shutdown()
+                # Non-admin ops are unaffected.
+                assert client.predict(x[0]).version == 1
+                assert client.healthz()["status"] == "serving"
+
+    def test_loopback_default_allows_admin(self, live, tmp_path, alt_model):
+        _, _, client = live
+        path = tmp_path / "swap.json"
+        alt_model.save(path)
+        assert client.reload(str(path)) == 2
+
+
+class TestStartupFailure:
+    def test_bind_failure_raises_instead_of_broken_handle(self, served_model):
+        import socket
+
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            taken_port = blocker.getsockname()[1]
+            with pytest.raises(ServeError, match="failed to start"):
+                serve_in_thread(registry, port=taken_port)
+        finally:
+            blocker.close()
+
+
 class TestHotSwap:
     def test_reload_from_disk_bumps_version(self, live, alt_model, tmp_path,
                                             small_gaussians):
