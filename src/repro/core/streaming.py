@@ -85,12 +85,60 @@ class KeyCounter:
             self._evict()
 
     def _evict(self) -> None:
-        items = sorted(self._counts.items(), key=lambda kv: kv[1])
+        # Tie-break on key bytes so eviction is a pure function of the table
+        # contents: distributed replicas that hold the same cells in different
+        # insertion orders must evict the same cells.
+        items = sorted(self._counts.items(), key=lambda kv: (kv[1], kv[0]))
         n_drop = len(items) - self.capacity // 2
         for key, cnt in items[:n_drop]:
             del self._counts[key]
             self.evicted_keys += 1
             self.evicted_points += cnt
+
+    def merge_arrays(
+        self,
+        keys: np.ndarray,
+        counts: np.ndarray,
+        *,
+        evicted_keys: int = 0,
+        evicted_points: int = 0,
+    ) -> "KeyCounter":
+        """Fold an arrays-format table (the :meth:`to_arrays` wire format)
+        into this counter, in place.
+
+        This is the one sanctioned way to merge counters across ranks: the
+        capacity cap is enforced on the merged table (evicting
+        smallest-count cells exactly as :meth:`update` would), and the
+        source counter's ``evicted_keys``/``evicted_points`` totals are
+        accumulated so the merged counter reports the *global*
+        approximation, not just its own.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint8)
+        counts = np.asarray(counts, dtype=np.int64)
+        if keys.ndim != 2 or counts.ndim != 1 or keys.shape[0] != counts.shape[0]:
+            raise ValidationError(
+                "merge_arrays needs a (K × D) key array and matching (K,) counts"
+            )
+        if evicted_keys < 0 or evicted_points < 0:
+            raise ValidationError("eviction totals cannot be negative")
+        self.evicted_keys += int(evicted_keys)
+        self.evicted_points += int(evicted_points)
+        if keys.shape[0] == 0:
+            return self
+        if self._width is None:
+            self._width = keys.shape[1]
+        elif keys.shape[1] != self._width:
+            raise ValidationError(
+                f"key width changed from {self._width} to {keys.shape[1]}"
+            )
+        raw = keys.tobytes()
+        width = keys.shape[1]
+        for i in range(keys.shape[0]):
+            kb = raw[i * width : (i + 1) * width]
+            self._counts[kb] = self._counts.get(kb, 0) + int(counts[i])
+        if len(self._counts) > self.capacity:
+            self._evict()
+        return self
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """(keys (K × D) uint8, counts (K,)) of surviving cells."""
@@ -133,7 +181,14 @@ def _projected_bounds(
 
 
 class _ProjectionState:
-    """Per-projection streaming accumulators."""
+    """Per-projection streaming accumulators.
+
+    ``hist``/``keys`` always hold the rank's best current view: the merged
+    global state plus anything accumulated locally since the last merge.
+    ``hist_delta``/``keys_delta`` hold *only* the increments since the last
+    merge — the delta a distributed consolidation puts on the wire. A rank
+    that never consolidates simply carries a delta equal to its history.
+    """
 
     def __init__(
         self,
@@ -145,10 +200,21 @@ class _ProjectionState:
         self.matrix = matrix
         self.space = space
         self.depths = tuple(sorted(set(int(d) for d in depths)))
+        self.key_capacity = int(key_capacity)
         n_dims = space.n_dims
         self.hist = {d: np.zeros((n_dims, 1 << d), dtype=np.int64) for d in self.depths}
+        self.hist_delta = {
+            d: np.zeros((n_dims, 1 << d), dtype=np.int64) for d in self.depths
+        }
         self.keys = KeyCounter(key_capacity)
+        self.keys_delta = KeyCounter(key_capacity)
         self.n_points = 0
+
+    def reset_deltas(self) -> None:
+        """Zero the per-round accumulators after their content was merged."""
+        for d in self.depths:
+            self.hist_delta[d][...] = 0
+        self.keys_delta = KeyCounter(self.key_capacity)
 
 
 class StreamingKeyBin2:
@@ -224,6 +290,9 @@ class StreamingKeyBin2:
         self._states: Optional[List[_ProjectionState]] = None
         self.model_: Optional[KeyBin2Model] = None
         self.n_seen_ = 0
+        # Points accumulated locally since the last distributed merge; the
+        # delta counterpart of n_seen_ (see insitu.distributed).
+        self.n_seen_delta_ = 0
 
     # -- accumulation -------------------------------------------------------
 
@@ -281,9 +350,15 @@ class StreamingKeyBin2:
             for d in state.depths:
                 b = deep if d == deepest else prefix_bins(deep, deepest, d)
                 accumulate_histogram(b, 1 << d, out=state.hist[d], engine=self.engine)
-            state.keys.update(deep.astype(np.uint8))
+                accumulate_histogram(
+                    b, 1 << d, out=state.hist_delta[d], engine=self.engine
+                )
+            deep_u8 = deep.astype(np.uint8)
+            state.keys.update(deep_u8)
+            state.keys_delta.update(deep_u8)
             state.n_points += x.shape[0]
         self.n_seen_ += x.shape[0]
+        self.n_seen_delta_ += x.shape[0]
         return self
 
     # -- consolidation ---------------------------------------------------------

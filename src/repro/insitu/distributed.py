@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.comm.base import Communicator, ReduceOp
+from repro.comm.ring import ring_allreduce
 from repro.comm.spmd import run_spmd
 from repro.core.streaming import StreamingKeyBin2
 from repro.errors import ValidationError
@@ -35,7 +36,12 @@ from repro.metrics.external import normalized_mutual_info
 from repro.proteins.encode import encode_frames
 from repro.proteins.trajectory import Trajectory
 
-__all__ = ["DistributedInSituResult", "distributed_insitu_spmd", "run_distributed_insitu"]
+__all__ = [
+    "DistributedInSituResult",
+    "consolidate_streaming_state",
+    "distributed_insitu_spmd",
+    "run_distributed_insitu",
+]
 
 
 @dataclass
@@ -50,52 +56,75 @@ class DistributedInSituResult:
     traffic: Dict[str, int] = field(default_factory=dict)
 
 
-def _merge_streaming_state(comm: Communicator, skb: StreamingKeyBin2) -> None:
-    """Sum histograms and union key counters across ranks, in place.
+def consolidate_streaming_state(
+    comm: Communicator,
+    skb: StreamingKeyBin2,
+    reduce_algo: str = "linear",
+) -> None:
+    """Delta-merge streaming state across ranks, in place.
 
-    Histogram tables ride one allreduce buffer; occupied-cell counters are
-    gathered at the master, merged, and broadcast (they are small because
-    clustered data occupies few cells).
+    Only *increments since the last merge* travel: each rank's
+    ``hist_delta`` rides one flat allreduce buffer (and the deltas sum to
+    the true global increment no matter how many merges came before — the
+    merged totals in ``st.hist`` are never re-reduced, which is what makes
+    repeated consolidation idempotent and mass-conserving); key-counter
+    deltas are allgathered as sparse arrays and folded into each rank's
+    merged table via :meth:`~repro.core.streaming.KeyCounter.merge_arrays`,
+    which enforces the capacity cap and accumulates peers' eviction totals.
+
+    ``reduce_algo`` selects the histogram reduction: ``"linear"`` uses the
+    communicator's default allreduce, ``"ring"`` the bandwidth-optimal
+    :func:`~repro.comm.ring.ring_allreduce` (each rank sends O(2·len)
+    bytes regardless of rank count).
     """
+    if reduce_algo not in ("linear", "ring"):
+        raise ValidationError(
+            f"reduce_algo must be 'linear' or 'ring', got {reduce_algo!r}"
+        )
     assert skb._states is not None
-    # --- histograms: one flat allreduce for all projections and depths ---
-    flat = np.concatenate(
-        [st.hist[d].ravel() for st in skb._states for d in st.depths]
+    # --- histogram deltas: one flat buffer for all projections and depths ---
+    flat_delta = np.concatenate(
+        [st.hist_delta[d].ravel() for st in skb._states for d in st.depths]
     )
-    total = comm.allreduce(flat, op=ReduceOp.SUM)
+    if reduce_algo == "ring":
+        total_delta = ring_allreduce(comm, flat_delta, op=ReduceOp.SUM)
+    else:
+        total_delta = comm.allreduce(flat_delta, op=ReduceOp.SUM)
     offset = 0
     for st in skb._states:
         for d in st.depths:
             size = st.hist[d].size
-            merged = total[offset : offset + size].reshape(st.hist[d].shape)
-            st.hist[d][...] = merged
+            global_inc = total_delta[offset : offset + size].reshape(st.hist[d].shape)
+            # st.hist already contains this rank's own delta; add the peers'.
+            st.hist[d] += global_inc - st.hist_delta[d]
             offset += size
-    # --- key counters: gather → merge → bcast ---
-    payload = [st.keys.to_arrays() for st in skb._states]
-    gathered = comm.gather(payload, root=0)
-    if comm.rank == 0:
-        merged_counters = []
-        for proj_idx, st in enumerate(skb._states):
-            combined: Dict[bytes, int] = {}
-            for rank_payload in gathered:
-                keys, counts = rank_payload[proj_idx]
-                width = keys.shape[1] if keys.size else 0
-                raw = keys.tobytes()
-                for i in range(keys.shape[0]):
-                    kb = raw[i * width : (i + 1) * width]
-                    combined[kb] = combined.get(kb, 0) + int(counts[i])
-            merged_counters.append(combined)
-    else:
-        merged_counters = None
-    merged_counters = comm.bcast(merged_counters, root=0)
-    # Points seen globally (identical on every rank after the allreduce).
-    global_seen = int(comm.allreduce(np.array([skb.n_seen_]))[0])
-    for st, combined in zip(skb._states, merged_counters):
-        st.keys._counts = dict(combined)
-        if combined and st.keys._width is None:
-            st.keys._width = len(next(iter(combined)))
-        st.n_points = global_seen
-    skb.n_seen_ = global_seen
+    # --- key-counter deltas: allgather sparse increments, fold into the
+    # merged table. Below capacity the merged tables are the same multiset
+    # on every rank; evictions are content-deterministic (count, then key
+    # bytes), so replicas that overflow agree on what to drop.
+    payload = [
+        st.keys_delta.to_arrays()
+        + (st.keys_delta.evicted_keys, st.keys_delta.evicted_points)
+        for st in skb._states
+    ]
+    gathered = comm.allgather(payload)
+    for proj_idx, st in enumerate(skb._states):
+        for rank_idx, rank_payload in enumerate(gathered):
+            if rank_idx == comm.rank:
+                continue  # own delta is already in st.keys via partial_fit
+            keys, counts, ev_keys, ev_points = rank_payload[proj_idx]
+            st.keys.merge_arrays(
+                keys, counts, evicted_keys=ev_keys, evicted_points=ev_points
+            )
+        st.reset_deltas()
+    # --- points seen: delta allreduce, folded the same way ---
+    seen_inc = int(
+        comm.allreduce(np.array([skb.n_seen_delta_], dtype=np.int64))[0]
+    )
+    skb.n_seen_ += seen_inc - skb.n_seen_delta_
+    skb.n_seen_delta_ = 0
+    for st in skb._states:
+        st.n_points = skb.n_seen_
 
 
 def distributed_insitu_spmd(
@@ -105,16 +134,36 @@ def distributed_insitu_spmd(
     consolidate_every: int = 4,
     fingerprint_window: int = 50,
     seed: int = 0,
+    reduce_algo: str = "linear",
     **keybin_params: Any,
 ) -> DistributedInSituResult:
     """SPMD in-situ analysis: each rank passes its *own* trajectory.
 
     All ranks share ``seed`` (identical projections/ranges). Every
-    ``consolidate_every`` chunks, streaming state is merged globally —
-    the only communication, sized O(histograms + occupied cells).
+    ``consolidate_every`` chunks, streaming state is delta-merged globally
+    — the only communication, sized O(histograms + new occupied cells).
+    ``reduce_algo`` selects the histogram reduction topology (``"linear"``
+    or ``"ring"``; see :func:`consolidate_streaming_state`).
     """
     if chunk_size < 1 or consolidate_every < 1:
         raise ValidationError("chunk_size and consolidate_every must be >= 1")
+    n_frames = trajectory.n_frames
+    n_chunks_local = -(-n_frames // chunk_size)
+    # Ranks may hold different trajectory lengths; every rank must join
+    # every consolidation, so the consolidation count is agreed globally.
+    # The same allreduce carries -n_frames so every rank learns the global
+    # minimum and a zero-frame rank fails fast *on all ranks at once*,
+    # instead of one rank raising mid-loop while its peers block in the
+    # next consolidation until the deadlock timeout.
+    agreed = comm.allreduce(
+        np.array([n_chunks_local, -n_frames], dtype=np.int64), op=ReduceOp.MAX
+    )
+    n_chunks_global = int(agreed[0])
+    if int(-agreed[1]) < 1:
+        raise ValidationError(
+            "a rank holds a trajectory with no frames; every rank needs at "
+            "least one frame to join the shared model"
+        )
     features = encode_frames(trajectory.angles)
 
     params = {
@@ -124,22 +173,14 @@ def distributed_insitu_spmd(
     params.update(keybin_params)
     skb = StreamingKeyBin2(seed=seed, **params)
 
-    n_frames = features.shape[0]
-    n_chunks_local = -(-n_frames // chunk_size)
-    # Ranks may hold different trajectory lengths; every rank must join
-    # every consolidation, so the consolidation count is agreed globally.
-    n_chunks_global = int(comm.allreduce(n_chunks_local, op=ReduceOp.MAX))
-
     chunk_idx = 0
     for start in range(0, n_chunks_global * chunk_size, chunk_size):
         if start < n_frames:
             stop = min(start + chunk_size, n_frames)
             skb.partial_fit(features[start:stop])
-        elif skb._states is None:
-            raise ValidationError("rank has no frames at all")
         chunk_idx += 1
         if chunk_idx % consolidate_every == 0 or chunk_idx == n_chunks_global:
-            _merge_streaming_state(comm, skb)
+            consolidate_streaming_state(comm, skb, reduce_algo=reduce_algo)
 
     skb.refresh()
     labels = skb.predict(features)
@@ -162,10 +203,12 @@ def distributed_insitu_spmd(
     )
 
 
-def _entry(comm, trajectories, chunk_size, consolidate_every, seed, params):
+def _entry(comm, trajectories, chunk_size, consolidate_every, seed, reduce_algo,
+           params):
     res = distributed_insitu_spmd(
         comm, trajectories[comm.rank], chunk_size=chunk_size,
-        consolidate_every=consolidate_every, seed=seed, **params,
+        consolidate_every=consolidate_every, seed=seed,
+        reduce_algo=reduce_algo, **params,
     )
     return res
 
@@ -177,16 +220,23 @@ def run_distributed_insitu(
     seed: int = 0,
     executor: str = "thread",
     timeout: Optional[float] = 600.0,
+    reduce_algo: str = "linear",
     **keybin_params: Any,
 ) -> List[DistributedInSituResult]:
     """Front-end: one rank per trajectory, results in rank order."""
     if not trajectories:
         raise ValidationError("need at least one trajectory")
+    for i, traj in enumerate(trajectories):
+        if traj.n_frames < 1:
+            raise ValidationError(
+                f"trajectory {i} ({traj.name!r}) has no frames; every rank "
+                "needs at least one frame"
+            )
     return run_spmd(
         _entry,
         len(trajectories),
         executor=executor,
         args=(list(trajectories), chunk_size, consolidate_every, seed,
-              dict(keybin_params)),
+              reduce_algo, dict(keybin_params)),
         timeout=timeout,
     )

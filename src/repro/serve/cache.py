@@ -74,19 +74,24 @@ class LabelCache:
         with self._lock:
             self._data.clear()
 
-    @property
-    def hit_rate(self) -> float:
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def snapshot(self) -> Dict[str, Any]:
+    @property
+    def hit_rate(self) -> float:
         with self._lock:
-            size = len(self._data)
-        return {
-            "size": size,
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+            return self._hit_rate_locked()
+
+    def snapshot(self) -> Dict[str, Any]:
+        # All counters read under one lock acquisition so a scraper never
+        # observes a torn view (e.g. a hit counted but not yet in hit_rate).
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self._hit_rate_locked(), 4),
+            }

@@ -59,6 +59,81 @@ class TestKeyCounter:
         kc.update(np.zeros((0, 3), dtype=np.uint8))
         assert len(kc) == 0
 
+    def test_merge_arrays_equals_pooled_update(self, rng):
+        rows_a = rng.integers(0, 4, (80, 3)).astype(np.uint8)
+        rows_b = rng.integers(0, 4, (60, 3)).astype(np.uint8)
+        a = KeyCounter()
+        a.update(rows_a)
+        b = KeyCounter()
+        b.update(rows_b)
+        a.merge_arrays(*b.to_arrays())
+        pooled = KeyCounter()
+        pooled.update(np.concatenate([rows_a, rows_b]))
+        da = {bytes(k): c for k, c in zip(*a.to_arrays())}
+        dp = {bytes(k): c for k, c in zip(*pooled.to_arrays())}
+        assert da == dp
+
+    def test_merge_arrays_enforces_capacity(self):
+        """A merge that overflows the cap must evict, not silently grow."""
+        a = KeyCounter(capacity=10)
+        a.update(np.arange(8, dtype=np.uint8).reshape(-1, 1))
+        b = KeyCounter()
+        b.update(np.arange(100, 108, dtype=np.uint8).reshape(-1, 1))
+        a.merge_arrays(*b.to_arrays())
+        assert len(a) <= 10
+        assert a.evicted_keys > 0
+
+    def test_merge_arrays_accumulates_peer_evictions(self):
+        a = KeyCounter()
+        a.update(np.zeros((5, 2), dtype=np.uint8))
+        b = KeyCounter(capacity=4)
+        b.update(np.arange(20, dtype=np.uint8).reshape(-1, 2))  # forces evictions
+        assert b.evicted_points > 0
+        a.merge_arrays(
+            *b.to_arrays(),
+            evicted_keys=b.evicted_keys,
+            evicted_points=b.evicted_points,
+        )
+        assert a.evicted_keys == b.evicted_keys
+        assert a.evicted_points == b.evicted_points
+
+    def test_merge_arrays_empty_payload_keeps_evictions(self):
+        a = KeyCounter()
+        a.merge_arrays(
+            np.empty((0, 0), dtype=np.uint8),
+            np.empty(0, dtype=np.int64),
+            evicted_keys=2,
+            evicted_points=7,
+        )
+        assert len(a) == 0
+        assert (a.evicted_keys, a.evicted_points) == (2, 7)
+
+    def test_merge_arrays_width_mismatch_rejected(self):
+        a = KeyCounter()
+        a.update(np.zeros((3, 2), dtype=np.uint8))
+        with pytest.raises(ValidationError):
+            a.merge_arrays(np.zeros((2, 3), dtype=np.uint8), np.ones(2, dtype=np.int64))
+
+    def test_merge_arrays_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            KeyCounter().merge_arrays(
+                np.zeros((3, 2), dtype=np.uint8), np.ones(2, dtype=np.int64)
+            )
+
+    def test_eviction_is_content_deterministic(self):
+        """Replicas holding the same cells in different insertion orders
+        must evict the same cells (ties broken on key bytes)."""
+        rows = np.arange(40, dtype=np.uint8).reshape(-1, 1)  # all count 1
+        a = KeyCounter(capacity=30)
+        a.update(rows[:20])
+        a.update(rows[20:])  # overflow evicts here, insertion order 0..39
+        b = KeyCounter(capacity=30)
+        b.update(rows[20:])
+        b.update(rows[:20])  # same contents, insertion order 20..39,0..19
+        da = {bytes(k): c for k, c in zip(*a.to_arrays())}
+        db = {bytes(k): c for k, c in zip(*b.to_arrays())}
+        assert da == db
+
 
 class TestStreamingKeyBin2:
     def test_stream_learns_clusters(self, small_gaussians):

@@ -1,5 +1,7 @@
 """Tests for the LRU cell-code → label cache."""
 
+import threading
+
 import pytest
 
 from repro.errors import ValidationError
@@ -71,3 +73,33 @@ class TestLabelCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.get(1, 1) is None
+
+    def test_snapshot_is_internally_consistent_under_load(self):
+        """A concurrent scraper must never observe a torn view: inside any
+        snapshot, hit_rate must be exactly hits/(hits+misses) of the *same*
+        snapshot. The old code read the counters outside the lock, so a
+        half-applied get() could leak into the scrape."""
+        cache = LabelCache(maxsize=64)
+        stop = threading.Event()
+
+        def serve_loop():
+            code = 0
+            while not stop.is_set():
+                code = (code + 1) % 128
+                if cache.get(1, code) is None:
+                    cache.put(1, code, code)
+
+        workers = [threading.Thread(target=serve_loop) for _ in range(4)]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(300):
+                snap = cache.snapshot()
+                total = snap["hits"] + snap["misses"]
+                expected = round(snap["hits"] / total, 4) if total else 0.0
+                assert snap["hit_rate"] == expected
+                assert snap["size"] <= snap["maxsize"]
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
