@@ -12,12 +12,15 @@ Usage::
 
     python -m repro serve --model model.json [--port 8765]
     python -m repro serve-bench --demo --requests 2000 --clients 16
+    python -m repro obs-report [--ranks 3] [--frames 160] [--json]
 
 ``--scale 1.0`` runs paper-sized experiments (hours on a workstation);
 the defaults finish in minutes on a laptop and preserve the shape of
 every conclusion. ``serve`` exposes a fitted model over the
 :mod:`repro.serve` TCP/JSON protocol; ``serve-bench`` spins up an
-in-process server and measures it with the load generator.
+in-process server and measures it with the load generator;
+``obs-report`` runs an instrumented in-situ workload and renders the
+per-phase time and comm-volume breakdowns from the telemetry registry.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate KeyBin2 (ICPP'18) evaluation artifacts.",
         epilog=(
             "Serving commands (own flags; see `python -m repro serve --help`): "
-            "serve, serve-bench."
+            "serve, serve-bench. Telemetry: obs-report."
         ),
     )
     parser.add_argument(
@@ -173,6 +176,11 @@ def _run_serve(argv: List[str]) -> int:
     parser.add_argument("--allow-admin", action="store_true",
                         help="serve reload/shutdown ops even on a non-loopback "
                              "--host (default: loopback binds only)")
+    parser.add_argument("--metrics-log", default=None, metavar="PATH",
+                        help="append periodic JSON telemetry snapshots to "
+                             "this file while serving")
+    parser.add_argument("--metrics-every", type=float, default=30.0,
+                        help="seconds between --metrics-log snapshots")
     args = parser.parse_args(argv)
 
     registry = ModelRegistry()
@@ -189,7 +197,7 @@ def _run_serve(argv: List[str]) -> int:
         print(f"serving model v{version} (fingerprint {info['fingerprint']}, "
               f"{info['n_clusters']} clusters) on "
               f"{server.host}:{server.bound_port}")
-        ops = "predict, model-info, stats, healthz"
+        ops = "predict, model-info, stats, metrics, healthz"
         if server.allow_admin:
             ops += ", reload, shutdown"
         else:
@@ -197,10 +205,23 @@ def _run_serve(argv: List[str]) -> int:
         print(f"ops: {ops}")
         await server.serve_until_shutdown()
 
-    try:
-        asyncio.run(_run())
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        pass
+    def _serve_forever():
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    if args.metrics_log is not None:
+        from repro.obs import SnapshotLogger, default_registry
+
+        with SnapshotLogger(
+            args.metrics_log,
+            interval_s=args.metrics_every,
+            registries=[server.stats.registry, default_registry()],
+        ):
+            _serve_forever()
+    else:
+        _serve_forever()
     return 0
 
 
@@ -257,6 +278,36 @@ def _run_serve_bench(argv: List[str]) -> int:
     return 0 if report.requests_failed == 0 else 1
 
 
+def _run_obs_report(argv: List[str]) -> int:
+    from repro.obs import run_obs_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-report",
+        description="Run an instrumented in-situ workload; report per-phase "
+                    "time and consolidation comm volume from telemetry.",
+    )
+    parser.add_argument("--ranks", type=int, default=3,
+                        help="SPMD ranks (one synthetic trajectory each)")
+    parser.add_argument("--frames", type=int, default=160,
+                        help="frames per rank")
+    parser.add_argument("--chunk", type=int, default=40,
+                        help="frames per in-situ chunk")
+    parser.add_argument("--every", type=int, default=2,
+                        help="chunks between consolidations")
+    parser.add_argument("--reduce", choices=["linear", "ring"],
+                        default="linear", help="histogram allreduce topology")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw registry snapshot as JSON")
+    args = parser.parse_args(argv)
+    print(run_obs_report(
+        n_ranks=args.ranks, n_frames=args.frames, chunk_size=args.chunk,
+        consolidate_every=args.every, seed=args.seed,
+        reduce_algo=args.reduce, as_json=args.json,
+    ))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -264,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "serve-bench":
         return _run_serve_bench(argv[1:])
+    if argv and argv[0] == "obs-report":
+        return _run_obs_report(argv[1:])
     args = _build_parser().parse_args(argv)
     names = (
         ["table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",

@@ -33,6 +33,7 @@ from repro.kernels.engine import KernelEngine
 from repro.kernels.histogram import accumulate_histogram
 from repro.kernels.keys import bin_indices, prefix_bins
 from repro.kernels.project import project_points
+from repro.obs import default_registry, trace
 from repro.util.rng import SeedLike, spawn_generators
 from repro.util.validation import check_array_2d, check_finite
 
@@ -338,27 +339,40 @@ class StreamingKeyBin2:
                 f"{self.n_features_in_}"
             )
         deepest = self.candidate_depths[-1]
-        for state in self._states:
-            projected = (
-                x if state.matrix is None
-                else project_points(x, state.matrix, engine=self.engine)
-            )
-            deep = bin_indices(
-                projected, state.space.r_min, state.space.r_max, deepest,
-                engine=self.engine,
-            )
-            for d in state.depths:
-                b = deep if d == deepest else prefix_bins(deep, deepest, d)
-                accumulate_histogram(b, 1 << d, out=state.hist[d], engine=self.engine)
-                accumulate_histogram(
-                    b, 1 << d, out=state.hist_delta[d], engine=self.engine
-                )
-            deep_u8 = deep.astype(np.uint8)
-            state.keys.update(deep_u8)
-            state.keys_delta.update(deep_u8)
-            state.n_points += x.shape[0]
+        with trace.span("partial_fit"):
+            for state in self._states:
+                with trace.span("project"):
+                    projected = (
+                        x if state.matrix is None
+                        else project_points(x, state.matrix, engine=self.engine)
+                    )
+                with trace.span("bin"):
+                    deep = bin_indices(
+                        projected, state.space.r_min, state.space.r_max, deepest,
+                        engine=self.engine,
+                    )
+                with trace.span("histogram"):
+                    for d in state.depths:
+                        b = deep if d == deepest else prefix_bins(deep, deepest, d)
+                        accumulate_histogram(
+                            b, 1 << d, out=state.hist[d], engine=self.engine
+                        )
+                        accumulate_histogram(
+                            b, 1 << d, out=state.hist_delta[d], engine=self.engine
+                        )
+                with trace.span("keys"):
+                    deep_u8 = deep.astype(np.uint8)
+                    state.keys.update(deep_u8)
+                    state.keys_delta.update(deep_u8)
+                state.n_points += x.shape[0]
         self.n_seen_ += x.shape[0]
         self.n_seen_delta_ += x.shape[0]
+        reg = default_registry()
+        if reg.enabled:
+            reg.counter(
+                "stream_points_total",
+                "Points accumulated by StreamingKeyBin2.partial_fit.",
+            ).inc(x.shape[0])
         return self
 
     # -- consolidation ---------------------------------------------------------
@@ -377,18 +391,35 @@ class StreamingKeyBin2:
         """
         if self._states is None or self.n_seen_ == 0:
             raise NotFittedError("no data accumulated; call partial_fit first")
+        with trace.span("refresh"):
+            best_model, fallback = self._refresh_models()
+        self.model_ = best_model if best_model is not None else fallback
+        reg = default_registry()
+        if reg.enabled:
+            reg.counter(
+                "stream_refreshes_total",
+                "StreamingKeyBin2.refresh consolidations performed.",
+            ).inc()
+        if publish_to is not None and self.model_ is not None:
+            publish_to.publish(self.model_)
+        return self
+
+    def _refresh_models(self):
+        """Score every (projection, depth) candidate; return (best, fallback)."""
+        assert self._states is not None
         deepest = self.candidate_depths[-1]
         best_model: Optional[KeyBin2Model] = None
         fallback: Optional[KeyBin2Model] = None
         for trial, state in enumerate(self._states):
-            if self.collapse:
-                kept = collapse_dimensions(
-                    state.hist[deepest],
-                    uniform_threshold=self.uniform_threshold,
-                    min_support_bins=self.min_support_bins,
-                )
-            else:
-                kept = np.ones(state.space.n_dims, dtype=bool)
+            with trace.span("collapse"):
+                if self.collapse:
+                    kept = collapse_dimensions(
+                        state.hist[deepest],
+                        uniform_threshold=self.uniform_threshold,
+                        min_support_bins=self.min_support_bins,
+                    )
+                else:
+                    kept = np.ones(state.space.n_dims, dtype=bool)
             deep_keys, key_counts = state.keys.to_arrays()
             for d in self.candidate_depths:
                 counts_kept = state.hist[d][kept]
@@ -433,10 +464,7 @@ class StreamingKeyBin2:
                         best_model = model
                 elif fallback is None:
                     fallback = model
-        self.model_ = best_model if best_model is not None else fallback
-        if publish_to is not None and self.model_ is not None:
-            publish_to.publish(self.model_)
-        return self
+        return best_model, fallback
 
     # -- inference -----------------------------------------------------------------
 

@@ -29,8 +29,10 @@ import numpy as np
 from repro.comm.base import Communicator, ReduceOp
 from repro.comm.ring import ring_allreduce
 from repro.comm.spmd import run_spmd
+from repro.comm.traffic import payload_nbytes
 from repro.core.streaming import StreamingKeyBin2
 from repro.errors import ValidationError
+from repro.obs import default_registry, trace
 from repro.insitu.fingerprint import fingerprint_change_points, window_fingerprints
 from repro.metrics.external import normalized_mutual_info
 from repro.proteins.encode import encode_frames
@@ -76,55 +78,103 @@ def consolidate_streaming_state(
     communicator's default allreduce, ``"ring"`` the bandwidth-optimal
     :func:`~repro.comm.ring.ring_allreduce` (each rank sends O(2·len)
     bytes regardless of rank count).
+
+    Every round records per-rank telemetry into the obs default registry:
+    ``insitu_consolidation_bytes_total{kind,rank,algo}`` (delta bytes on
+    the wire — the paper's O(2·K·N_rp·B) term under ``kind="hist"``),
+    ``insitu_consolidation_rounds_total``, peer cells folded, and
+    eviction totals, plus ``consolidate/...`` phase spans.
     """
     if reduce_algo not in ("linear", "ring"):
         raise ValidationError(
             f"reduce_algo must be 'linear' or 'ring', got {reduce_algo!r}"
         )
     assert skb._states is not None
-    # --- histogram deltas: one flat buffer for all projections and depths ---
-    flat_delta = np.concatenate(
-        [st.hist_delta[d].ravel() for st in skb._states for d in st.depths]
-    )
-    if reduce_algo == "ring":
-        total_delta = ring_allreduce(comm, flat_delta, op=ReduceOp.SUM)
-    else:
-        total_delta = comm.allreduce(flat_delta, op=ReduceOp.SUM)
-    offset = 0
-    for st in skb._states:
-        for d in st.depths:
-            size = st.hist[d].size
-            global_inc = total_delta[offset : offset + size].reshape(st.hist[d].shape)
-            # st.hist already contains this rank's own delta; add the peers'.
-            st.hist[d] += global_inc - st.hist_delta[d]
-            offset += size
-    # --- key-counter deltas: allgather sparse increments, fold into the
-    # merged table. Below capacity the merged tables are the same multiset
-    # on every rank; evictions are content-deterministic (count, then key
-    # bytes), so replicas that overflow agree on what to drop.
-    payload = [
-        st.keys_delta.to_arrays()
-        + (st.keys_delta.evicted_keys, st.keys_delta.evicted_points)
-        for st in skb._states
-    ]
-    gathered = comm.allgather(payload)
-    for proj_idx, st in enumerate(skb._states):
-        for rank_idx, rank_payload in enumerate(gathered):
-            if rank_idx == comm.rank:
-                continue  # own delta is already in st.keys via partial_fit
-            keys, counts, ev_keys, ev_points = rank_payload[proj_idx]
-            st.keys.merge_arrays(
-                keys, counts, evicted_keys=ev_keys, evicted_points=ev_points
-            )
-        st.reset_deltas()
-    # --- points seen: delta allreduce, folded the same way ---
-    seen_inc = int(
-        comm.allreduce(np.array([skb.n_seen_delta_], dtype=np.int64))[0]
-    )
-    skb.n_seen_ += seen_inc - skb.n_seen_delta_
-    skb.n_seen_delta_ = 0
-    for st in skb._states:
-        st.n_points = skb.n_seen_
+    reg = default_registry()
+    rank = str(comm.rank)
+    with trace.span("consolidate"):
+        # --- histogram deltas: one flat buffer for all projections/depths ---
+        flat_delta = np.concatenate(
+            [st.hist_delta[d].ravel() for st in skb._states for d in st.depths]
+        )
+        with trace.span("hist_allreduce"):
+            if reduce_algo == "ring":
+                total_delta = ring_allreduce(comm, flat_delta, op=ReduceOp.SUM)
+            else:
+                total_delta = comm.allreduce(flat_delta, op=ReduceOp.SUM)
+        offset = 0
+        for st in skb._states:
+            for d in st.depths:
+                size = st.hist[d].size
+                global_inc = total_delta[offset : offset + size].reshape(st.hist[d].shape)
+                # st.hist already contains this rank's own delta; add the peers'.
+                st.hist[d] += global_inc - st.hist_delta[d]
+                offset += size
+        # --- key-counter deltas: allgather sparse increments, fold into the
+        # merged table. Below capacity the merged tables are the same multiset
+        # on every rank; evictions are content-deterministic (count, then key
+        # bytes), so replicas that overflow agree on what to drop.
+        payload = [
+            st.keys_delta.to_arrays()
+            + (st.keys_delta.evicted_keys, st.keys_delta.evicted_points)
+            for st in skb._states
+        ]
+        with trace.span("keys_allgather"):
+            gathered = comm.allgather(payload)
+        evictions_before = sum(st.keys.evicted_keys for st in skb._states)
+        cells_folded = 0
+        for proj_idx, st in enumerate(skb._states):
+            for rank_idx, rank_payload in enumerate(gathered):
+                if rank_idx == comm.rank:
+                    continue  # own delta is already in st.keys via partial_fit
+                keys, counts, ev_keys, ev_points = rank_payload[proj_idx]
+                cells_folded += int(keys.shape[0])
+                st.keys.merge_arrays(
+                    keys, counts, evicted_keys=ev_keys, evicted_points=ev_points
+                )
+            st.reset_deltas()
+        # --- points seen: delta allreduce, folded the same way ---
+        seen_inc = int(
+            comm.allreduce(np.array([skb.n_seen_delta_], dtype=np.int64))[0]
+        )
+        skb.n_seen_ += seen_inc - skb.n_seen_delta_
+        skb.n_seen_delta_ = 0
+        for st in skb._states:
+            st.n_points = skb.n_seen_
+    if reg.enabled:
+        # Per-round wire accounting: what THIS rank contributed to the
+        # collective, by payload kind. Summed over rounds this is exactly
+        # the O(histogram × rounds) bound tests/insitu pin.
+        bytes_total = reg.counter(
+            "insitu_consolidation_bytes_total",
+            "Delta bytes this rank put on the wire per consolidation payload "
+            "kind (hist = flat histogram delta, keys = sparse key-cell delta, "
+            "seen = points-seen scalar).",
+            ("kind", "rank", "algo"),
+        )
+        bytes_total.labels(kind="hist", rank=rank, algo=reduce_algo).inc(
+            flat_delta.nbytes
+        )
+        bytes_total.labels(kind="keys", rank=rank, algo=reduce_algo).inc(
+            payload_nbytes(payload)
+        )
+        bytes_total.labels(kind="seen", rank=rank, algo=reduce_algo).inc(8)
+        reg.counter(
+            "insitu_consolidation_rounds_total",
+            "Distributed delta-merge rounds completed, per rank and reduce algo.",
+            ("rank", "algo"),
+        ).labels(rank=rank, algo=reduce_algo).inc()
+        reg.counter(
+            "insitu_consolidation_cells_folded_total",
+            "Peer key-cells folded into the merged table, per rank.",
+            ("rank",),
+        ).labels(rank=rank).inc(cells_folded)
+        evictions_after = sum(st.keys.evicted_keys for st in skb._states)
+        reg.counter(
+            "insitu_consolidation_evictions_total",
+            "Key-cells evicted by capacity during delta merges, per rank.",
+            ("rank",),
+        ).labels(rank=rank).inc(evictions_after - evictions_before)
 
 
 def distributed_insitu_spmd(
@@ -173,17 +223,22 @@ def distributed_insitu_spmd(
     params.update(keybin_params)
     skb = StreamingKeyBin2(seed=seed, **params)
 
-    chunk_idx = 0
-    for start in range(0, n_chunks_global * chunk_size, chunk_size):
-        if start < n_frames:
-            stop = min(start + chunk_size, n_frames)
-            skb.partial_fit(features[start:stop])
-        chunk_idx += 1
-        if chunk_idx % consolidate_every == 0 or chunk_idx == n_chunks_global:
-            consolidate_streaming_state(comm, skb, reduce_algo=reduce_algo)
+    # Executor ranks run on worker threads, which start from an empty
+    # trace context; re-root so every span below attributes to its rank
+    # (insitu/rank2/partial_fit/project, insitu/rank2/consolidate/...).
+    with trace.propagate(("insitu", f"rank{comm.rank}")):
+        chunk_idx = 0
+        for start in range(0, n_chunks_global * chunk_size, chunk_size):
+            if start < n_frames:
+                stop = min(start + chunk_size, n_frames)
+                skb.partial_fit(features[start:stop])
+            chunk_idx += 1
+            if chunk_idx % consolidate_every == 0 or chunk_idx == n_chunks_global:
+                consolidate_streaming_state(comm, skb, reduce_algo=reduce_algo)
 
-    skb.refresh()
-    labels = skb.predict(features)
+        skb.refresh()
+        with trace.span("label_frames"):
+            labels = skb.predict(features)
     prints = window_fingerprints(labels, window=fingerprint_window)
     changes = fingerprint_change_points(prints)
     phase_nmi = (

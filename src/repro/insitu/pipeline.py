@@ -34,6 +34,7 @@ from repro.insitu.stability import (
     stability_scores,
 )
 from repro.metrics.external import normalized_mutual_info
+from repro.obs import trace
 from repro.proteins.encode import encode_frames
 from repro.proteins.rmsd import rmsd_time_series, select_representatives
 from repro.proteins.trajectory import Trajectory
@@ -107,13 +108,26 @@ class InSituPipeline:
         self.keybin_params = dict(keybin_params)
 
     def run(self, trajectory: Trajectory) -> InSituResult:
-        """Analyze one trajectory end to end."""
+        """Analyze one trajectory end to end.
+
+        Each stage runs under an obs phase span (``insitu/encode``, …), so
+        the result's ``timings`` dict and the telemetry registry report the
+        same wall-clock numbers.
+        """
+        with trace.propagate(("insitu",)):
+            return self._run(trajectory)
+
+    def _run(self, trajectory: Trajectory) -> InSituResult:
         import time
 
+        # timings is part of the result API and must stay accurate even
+        # when the obs registry is disabled (spans no-op then), so each
+        # stage is clocked explicitly alongside its span.
         timings: Dict[str, float] = {}
 
         t0 = time.perf_counter()
-        features = encode_frames(trajectory.angles)
+        with trace.span("encode"):
+            features = encode_frames(trajectory.angles)
         timings["encode"] = time.perf_counter() - t0
 
         # --- online clustering (the in-situ part) --------------------------
@@ -122,49 +136,57 @@ class InSituPipeline:
         # once the last consolidation lands the whole trajectory is labeled
         # through the final partition (an O(M) key lookup, no re-clustering).
         t0 = time.perf_counter()
-        params = {
-            # Secondary-structure codes are known a priori to lie in [0, 6]
-            # (the paper's "predetermined space range") — essential because
-            # a folding stream's first chunk visits only the first phase.
-            "feature_range": (0.0, 6.0),
-            # Deeper bins: the known range is wider than any single phase's
-            # spread, so extra resolution is needed to separate phases.
-            "candidate_depths": (5, 6, 7, 8),
-        }
-        params.update(self.keybin_params)
-        skb = StreamingKeyBin2(seed=self.seed, **params)
-        n_frames = features.shape[0]
-        chunk_idx = 0
-        for start in range(0, n_frames, self.chunk_size):
-            stop = min(start + self.chunk_size, n_frames)
-            skb.partial_fit(features[start:stop])
-            chunk_idx += 1
-            if chunk_idx % self.refresh_every == 0:
-                skb.refresh()  # periodic consolidation (in-situ checkpoints)
-        skb.refresh()
-        labels = skb.predict(features)
+        with trace.span("cluster"):
+            params = {
+                # Secondary-structure codes are known a priori to lie in
+                # [0, 6] (the paper's "predetermined space range") —
+                # essential because a folding stream's first chunk visits
+                # only the first phase.
+                "feature_range": (0.0, 6.0),
+                # Deeper bins: the known range is wider than any single
+                # phase's spread, so extra resolution is needed to
+                # separate phases.
+                "candidate_depths": (5, 6, 7, 8),
+            }
+            params.update(self.keybin_params)
+            skb = StreamingKeyBin2(seed=self.seed, **params)
+            n_frames = features.shape[0]
+            chunk_idx = 0
+            for start in range(0, n_frames, self.chunk_size):
+                stop = min(start + self.chunk_size, n_frames)
+                skb.partial_fit(features[start:stop])
+                chunk_idx += 1
+                if chunk_idx % self.refresh_every == 0:
+                    skb.refresh()  # periodic consolidation (checkpoints)
+            skb.refresh()
+            with trace.span("label_frames"):
+                labels = skb.predict(features)
         timings["cluster"] = time.perf_counter() - t0
 
         # --- fingerprints ----------------------------------------------------
         t0 = time.perf_counter()
-        prints = window_fingerprints(labels, window=self.fingerprint_window)
-        changes = fingerprint_change_points(prints)
+        with trace.span("fingerprint"):
+            prints = window_fingerprints(labels, window=self.fingerprint_window)
+            changes = fingerprint_change_points(prints)
         timings["fingerprint"] = time.perf_counter() - t0
 
         # --- offline probabilistic validation (eqs. 3–4) ----------------------
         t0 = time.perf_counter()
-        reps = select_representatives(
-            trajectory.angles,
-            self.n_representatives,
-            power=self.representative_power,
-            seed=self.seed,
-        )
-        flat = trajectory.angles.reshape(n_frames, -1)
-        distances = rmsd_time_series(flat, flat[reps])
-        probs = label_probabilities(distances)
-        scores = stability_scores(probs, window=self.stability_window)
-        stable, winners = stability_decisions(scores, self.stability_threshold)
-        segments = extract_segments(stable, winners)
+        with trace.span("validate"):
+            reps = select_representatives(
+                trajectory.angles,
+                self.n_representatives,
+                power=self.representative_power,
+                seed=self.seed,
+            )
+            flat = trajectory.angles.reshape(n_frames, -1)
+            distances = rmsd_time_series(flat, flat[reps])
+            probs = label_probabilities(distances)
+            scores = stability_scores(probs, window=self.stability_window)
+            stable, winners = stability_decisions(
+                scores, self.stability_threshold
+            )
+            segments = extract_segments(stable, winners)
         timings["validate"] = time.perf_counter() - t0
 
         phase_nmi = float(

@@ -15,6 +15,7 @@ from typing import Any, Callable, List, Optional
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs import default_registry
 from repro.util.chunking import chunk_slices
 
 __all__ = ["KernelEngine", "DEFAULT_BLOCK_SIZE"]
@@ -67,6 +68,7 @@ class KernelEngine:
         """
         n = x.shape[0]
         blocks = self.blocks(n)
+        self._count_launches(kernel, len(blocks))
         for start, stop in blocks:
             self.launches += 1
             result = kernel(x[start:stop], *kernel_args)
@@ -96,8 +98,23 @@ class KernelEngine:
         with a global atomic merge.
         """
         acc = initial
-        for start, stop in self.blocks(x.shape[0]):
+        blocks = self.blocks(x.shape[0])
+        self._count_launches(kernel, len(blocks))
+        for start, stop in blocks:
             self.launches += 1
             partial = kernel(x[start:stop], *kernel_args)
             acc = partial if acc is None else combine(acc, partial)
         return acc
+
+    @staticmethod
+    def _count_launches(kernel: Callable[..., Any], n_blocks: int) -> None:
+        if n_blocks == 0:
+            return
+        reg = default_registry()
+        if not reg.enabled:
+            return
+        reg.counter(
+            "kernel_launches_total",
+            "Block launches executed by the kernel engine, per kernel.",
+            ("kernel",),
+        ).labels(kernel=getattr(kernel, "__name__", "kernel")).inc(n_blocks)

@@ -1,0 +1,62 @@
+"""Unified telemetry: metrics registry, phase tracing, exposition.
+
+The observability spine every layer records into and every surface reads
+from:
+
+registry     thread-safe labeled counters / gauges / fixed-bucket
+             histograms; process-global default with a no-op mode
+trace        span-based phase tracing with parent/child nesting and
+             explicit context propagation across threads and SPMD ranks
+exposition   Prometheus-text + JSON rendering (the ``metrics`` RPC)
+logger       periodic JSON-lines snapshot writer for long in-situ runs
+report       ``python -m repro obs-report`` phase/comm breakdowns
+
+Quick tour::
+
+    from repro.obs import default_registry, trace
+
+    reqs = default_registry().counter("myapp_requests_total", "Requests.")
+    reqs.inc()
+    with trace.span("partition"):
+        ...                               # phase_seconds_total{phase="partition"}
+
+    default_registry().disable()          # no-op mode: hot paths pay ~nothing
+"""
+
+from __future__ import annotations
+
+from repro.obs.exposition import ensure_core_series, render_json, render_prometheus
+from repro.obs.logger import SnapshotLogger
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    POW2_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.report import comm_table, phase_table, run_obs_report
+from repro.obs.trace import PhaseTracer, Span, trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "POW2_BUCKETS",
+    "PhaseTracer",
+    "SnapshotLogger",
+    "Span",
+    "comm_table",
+    "default_registry",
+    "ensure_core_series",
+    "phase_table",
+    "render_json",
+    "render_prometheus",
+    "run_obs_report",
+    "set_default_registry",
+    "trace",
+]

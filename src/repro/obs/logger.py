@@ -1,0 +1,112 @@
+"""Periodic metrics-snapshot logger for long-running (in-situ) processes.
+
+An in-situ analysis coupled to a simulation runs for hours with no
+scrapeable endpoint; the :class:`SnapshotLogger` is the pull-less
+alternative — a daemon thread that every ``interval_s`` seconds appends
+one JSON line (timestamped registry snapshot) to a file or any writable
+sink, so phase timings and comm volume can be reconstructed after the
+fact (or tailed live)::
+
+    with SnapshotLogger("run.metrics.jsonl", interval_s=30.0):
+        run_distributed_insitu(...)
+
+A final snapshot is always written on ``stop()``/context exit, so short
+runs produce at least one line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Optional, Sequence, Union
+
+from repro.errors import ValidationError
+from repro.obs.exposition import render_json
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SnapshotLogger"]
+
+
+class SnapshotLogger:
+    """Write one JSON registry snapshot per interval to ``sink``.
+
+    Parameters
+    ----------
+    sink:
+        A filesystem path (opened in append mode) or an open text stream.
+    interval_s:
+        Seconds between snapshots.
+    registries:
+        Registries to snapshot (default: the process-global default).
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, IO[str]],
+        interval_s: float = 30.0,
+        registries: Optional[Sequence[MetricsRegistry]] = None,
+    ):
+        if interval_s <= 0:
+            raise ValidationError("interval_s must be > 0")
+        self.interval_s = float(interval_s)
+        self._registries = registries
+        self._sink = sink
+        self._file: Optional[IO[str]] = None
+        self._owns_file = isinstance(sink, str)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.snapshots_written = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SnapshotLogger":
+        if self._thread is not None:
+            raise ValidationError("snapshot logger already started")
+        self._file = (
+            open(self._sink, "a", encoding="utf-8")
+            if self._owns_file else self._sink  # type: ignore[assignment]
+        )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-snapshots", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Write a final snapshot and stop the thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout)
+        self._thread = None
+        self._write_snapshot()  # final state, after the loop has exited
+        if self._owns_file and self._file is not None:
+            self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "SnapshotLogger":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- internals -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        if self._file is None:
+            return
+        line = json.dumps(
+            {"ts": time.time(), **render_json(self._registries)},
+            sort_keys=True,
+        )
+        # One lock-free append per line; the GIL serializes the writes and
+        # each line is written whole, so a tail -f never sees a torn record.
+        self._file.write(line + "\n")
+        self._file.flush()
+        self.snapshots_written += 1

@@ -1,0 +1,195 @@
+"""``python -m repro obs-report`` — phase-time and comm-volume breakdown.
+
+Runs a small instrumented distributed in-situ workload (the same shape as
+``tests/insitu/test_consolidation.py``) against a fresh registry and
+renders the two breakdowns the paper's cost model is stated in:
+
+* **per-phase time** — from the ``phase_seconds_total``/``phase_calls_total``
+  span series, the runtime decomposition of §3's linear-time pipeline
+  (project → bin → histogram → keys → consolidate → refresh);
+* **communication volume** — from the ``insitu_consolidation_bytes_total``
+  series, checked against the paper's histogram-only bound: each rank
+  ships one flat delta buffer of ``K · Σ_d N_rp · 2^d`` int64 bins per
+  round (the O(2·K·N_rp·B) term), plus the sparse key-cell delta.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.exposition import ensure_core_series, render_json
+from repro.obs.registry import (
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+__all__ = ["run_obs_report", "phase_table", "comm_table"]
+
+
+def _family_values(reg: MetricsRegistry, name: str) -> List[Dict[str, Any]]:
+    fam = reg.get(name)
+    return fam.snapshot()["samples"] if fam is not None else []
+
+
+def phase_table(reg: MetricsRegistry) -> str:
+    """Render the per-phase span breakdown, slowest first."""
+    seconds = {
+        s["labels"]["phase"]: s["value"]
+        for s in _family_values(reg, "phase_seconds_total")
+    }
+    calls = {
+        s["labels"]["phase"]: s["value"]
+        for s in _family_values(reg, "phase_calls_total")
+    }
+    if not seconds:
+        return "  (no phase spans recorded)"
+    # A leaf is a path that never appears as a proper prefix of another;
+    # leaves partition the measured time, so only they get a % share.
+    paths = sorted(seconds)
+    leaves = {
+        p for p in paths
+        if not any(q.startswith(p + "/") for q in paths if q != p)
+    }
+    leaf_total = sum(seconds[p] for p in leaves) or 1.0
+    rows = sorted(seconds.items(), key=lambda kv: -kv[1])
+    width = max(len(p) for p, _ in rows)
+    lines = [
+        f"  {'phase':<{width}}  {'calls':>7}  {'total s':>9}  "
+        f"{'mean ms':>9}  {'share':>6}"
+    ]
+    for path, secs in rows:
+        n = int(calls.get(path, 0))
+        mean_ms = (secs / n * 1e3) if n else 0.0
+        share = f"{secs / leaf_total * 100:5.1f}%" if path in leaves else "     -"
+        lines.append(
+            f"  {path:<{width}}  {n:>7}  {secs:>9.4f}  {mean_ms:>9.3f}  {share}"
+        )
+    return "\n".join(lines)
+
+
+def comm_table(reg: MetricsRegistry, model_bytes_per_round: int) -> str:
+    """Render per-rank consolidation traffic vs. the histogram cost model."""
+    rounds = {
+        s["labels"]["rank"]: int(s["value"])
+        for s in _family_values(reg, "insitu_consolidation_rounds_total")
+    }
+    by_rank_kind: Dict[Tuple[str, str], float] = {}
+    for s in _family_values(reg, "insitu_consolidation_bytes_total"):
+        key = (s["labels"]["rank"], s["labels"]["kind"])
+        by_rank_kind[key] = by_rank_kind.get(key, 0.0) + s["value"]
+    if not rounds:
+        return "  (no consolidation rounds recorded)"
+    lines = [
+        f"  cost model: histogram delta = {model_bytes_per_round:,} "
+        "bytes/rank/round (K · Σ_d N_rp·2^d int64 bins)",
+        f"  {'rank':>4}  {'rounds':>6}  {'hist B':>12}  {'keys B':>12}  "
+        f"{'seen B':>7}  {'hist B/round':>12}  {'model ×':>8}",
+    ]
+    for rank in sorted(rounds, key=int):
+        n = rounds[rank]
+        hist = int(by_rank_kind.get((rank, "hist"), 0))
+        keys = int(by_rank_kind.get((rank, "keys"), 0))
+        seen = int(by_rank_kind.get((rank, "seen"), 0))
+        per_round = hist / n if n else 0.0
+        ratio = per_round / model_bytes_per_round if model_bytes_per_round else 0.0
+        lines.append(
+            f"  {rank:>4}  {n:>6}  {hist:>12,}  {keys:>12,}  {seen:>7,}  "
+            f"{per_round:>12,.0f}  {ratio:>8.2f}"
+        )
+    folded = sum(
+        int(s["value"])
+        for s in _family_values(reg, "insitu_consolidation_cells_folded_total")
+    )
+    evicted = sum(
+        int(s["value"])
+        for s in _family_values(reg, "insitu_consolidation_evictions_total")
+    )
+    lines.append(f"  peer key-cells folded: {folded:,}   evictions: {evicted:,}")
+    return "\n".join(lines)
+
+
+def run_obs_report(
+    n_ranks: int = 3,
+    n_frames: int = 160,
+    chunk_size: int = 40,
+    consolidate_every: int = 2,
+    seed: int = 0,
+    reduce_algo: str = "linear",
+    as_json: bool = False,
+) -> str:
+    """Run the instrumented demo workload and render the breakdowns.
+
+    The run records into a fresh registry temporarily installed as the
+    process default, so the report reflects only this workload (and never
+    pollutes, or is polluted by, whatever else the process measured).
+    """
+    from repro.core.streaming import StreamingKeyBin2
+    from repro.insitu.distributed import run_distributed_insitu
+    from repro.proteins.encode import encode_frames
+    from repro.proteins.trajectory import TrajectorySimulator
+
+    n_residues = 24
+    proto = TrajectorySimulator(n_residues, n_frames, 4, seed=50 + seed)
+    targets = proto.simulate().phase_targets
+    trajs = [
+        TrajectorySimulator(
+            n_residues, n_frames, 4, phase_targets=targets, seed=51 + seed + i
+        ).simulate(name=f"traj{i}")
+        for i in range(n_ranks)
+    ]
+    keybin = {"feature_range": (0.0, 6.0), "candidate_depths": (5, 6, 7, 8)}
+
+    report_reg = ensure_core_series(MetricsRegistry())
+    previous = set_default_registry(report_reg)
+    try:
+        results = run_distributed_insitu(
+            trajs, chunk_size=chunk_size,
+            consolidate_every=consolidate_every, seed=seed,
+            reduce_algo=reduce_algo, **keybin,
+        )
+    finally:
+        set_default_registry(previous)
+    # Cost-model probe (instrumented into the restored registry, not the
+    # report's): the flat histogram-delta buffer of an identically
+    # configured model is the O(2·K·N_rp·B) wire term.
+    probe = StreamingKeyBin2(seed=seed, **keybin)
+    probe.partial_fit(encode_frames(trajs[0].angles)[:chunk_size])
+    model_bytes = sum(
+        st.hist[d].nbytes for st in probe._states for d in st.depths
+    )
+
+    if as_json:
+        return json.dumps(
+            {
+                "workload": {
+                    "ranks": n_ranks, "frames_per_rank": n_frames,
+                    "chunk_size": chunk_size,
+                    "consolidate_every": consolidate_every,
+                    "reduce_algo": reduce_algo,
+                    "model_hist_bytes_per_round": model_bytes,
+                },
+                **render_json(report_reg),
+            },
+            sort_keys=True,
+        )
+
+    total_sent = sum(r.traffic["bytes_sent"] for r in results)
+    clusters = results[0].n_clusters
+    out = [
+        "obs-report — instrumented distributed in-situ run",
+        f"  ranks={n_ranks}  frames/rank={n_frames}  chunk={chunk_size}  "
+        f"consolidate_every={consolidate_every}  reduce={reduce_algo}  "
+        f"clusters={clusters}",
+        "",
+        "Per-phase time (phase_seconds_total / phase_calls_total):",
+        phase_table(report_reg),
+        "",
+        "Consolidation comm volume (insitu_consolidation_bytes_total):",
+        comm_table(report_reg, model_bytes),
+        "",
+        f"  communicator total bytes sent (all ranks, incl. control): "
+        f"{total_sent:,}",
+    ]
+    return "\n".join(out)

@@ -1,0 +1,161 @@
+"""Span-based phase tracing on top of the metrics registry.
+
+``trace.span("partition")`` opens a phase span; nested spans build a
+``parent/child`` path via a :mod:`contextvars` variable, so the recorded
+series mirror the paper's pipeline decomposition::
+
+    with trace.span("partial_fit"):
+        with trace.span("project"):   # records phase="partial_fit/project"
+            ...
+
+Every completed span adds one count to ``phase_calls_total{phase=...}``
+and its duration to ``phase_seconds_total{phase=...}`` in the tracer's
+registry (the process-global default unless one was injected). Mean phase
+time is therefore always recoverable as ``seconds / calls`` — exactly the
+per-phase breakdown ``python -m repro obs-report`` renders.
+
+Context propagation: :mod:`contextvars` flows automatically into asyncio
+tasks, but **not** into worker threads — a new thread starts from an empty
+context. :meth:`PhaseTracer.propagate` re-roots the path explicitly, which
+is how the micro-batcher flush path and the SPMD in-situ ranks attach
+their spans under a meaningful root (``serve/...``, ``insitu/rank0/...``)
+instead of losing their ancestry at the thread boundary.
+
+When the registry is disabled, :meth:`PhaseTracer.span` hands back a
+shared no-op span (``elapsed`` stays 0.0): no clock reads, no contextvar
+writes — this is the hot-path guarantee the overhead benchmark pins.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from typing import Iterable, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry, default_registry
+
+__all__ = ["PhaseTracer", "Span", "trace"]
+
+_CALLS_HELP = "Completed phase spans, by slash-joined phase path."
+_SECONDS_HELP = "Total seconds spent inside phase spans, by phase path."
+
+
+class Span:
+    """One live phase span (context manager). ``elapsed`` is set on exit."""
+
+    __slots__ = ("_tracer", "name", "path", "elapsed", "_token", "_t0")
+
+    def __init__(self, tracer: "PhaseTracer", name: str):
+        self._tracer = tracer
+        self.name = name
+        self.path: Tuple[str, ...] = ()
+        self.elapsed = 0.0
+        self._token = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        var = self._tracer._path
+        self.path = var.get() + (self.name,)
+        self._token = var.set(self.path)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self._tracer._path.reset(self._token)
+        self._tracer._record(self.path, self.elapsed)
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    path: Tuple[str, ...] = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class PhaseTracer:
+    """Factory for phase spans bound to one metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        Where spans record. ``None`` (the default, and what the module
+        level :data:`trace` uses) resolves to :func:`default_registry`
+        at record time, so swapping or disabling the global registry
+        takes effect immediately.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self._registry = registry
+        self._path: contextvars.ContextVar[Tuple[str, ...]] = contextvars.ContextVar(
+            "repro_obs_phase_path", default=()
+        )
+
+    def _reg(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else default_registry()
+
+    def span(self, name: str) -> Span:
+        """A context manager timing one phase; no-op while disabled."""
+        if not self._reg().enabled:
+            return _NOOP_SPAN  # type: ignore[return-value]
+        return Span(self, name)
+
+    def current_path(self) -> Tuple[str, ...]:
+        """The active span path in this context (empty at top level)."""
+        return self._path.get()
+
+    def propagate(self, path: Iterable[str]) -> "_Propagation":
+        """Re-root the span path — for worker threads and SPMD ranks.
+
+        ``contextvars`` do not cross thread boundaries; a worker that
+        should attribute its spans under a logical parent re-enters it::
+
+            with trace.propagate(("insitu", f"rank{rank}")):
+                ...  # spans here record as insitu/rankN/...
+        """
+        return _Propagation(self, tuple(str(p) for p in path))
+
+    def _record(self, path: Tuple[str, ...], elapsed: float) -> None:
+        reg = self._reg()
+        if not reg.enabled:
+            return
+        phase = "/".join(path)
+        reg.counter("phase_calls_total", _CALLS_HELP, ("phase",)).labels(
+            phase=phase
+        ).inc()
+        reg.counter("phase_seconds_total", _SECONDS_HELP, ("phase",)).labels(
+            phase=phase
+        ).inc(elapsed)
+
+
+class _Propagation:
+    """Context manager installing an explicit span path."""
+
+    __slots__ = ("_tracer", "_path", "_token")
+
+    def __init__(self, tracer: PhaseTracer, path: Tuple[str, ...]):
+        self._tracer = tracer
+        self._path = path
+        self._token = None
+
+    def __enter__(self) -> "_Propagation":
+        self._token = self._tracer._path.set(self._path)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._path.reset(self._token)
+
+
+#: Process-global tracer; records into :func:`default_registry`.
+trace = PhaseTracer()

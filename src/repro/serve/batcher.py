@@ -32,6 +32,7 @@ from typing import Any, Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import QueueFullError, ServeError, ValidationError
+from repro.obs import trace
 from repro.serve.stats import ServeStats
 
 __all__ = ["BatchPolicy", "MicroBatcher"]
@@ -184,7 +185,10 @@ class MicroBatcher:
 
     async def _worker(self) -> None:
         try:
-            await self._worker_loop()
+            # The worker task starts from whatever context start() ran in;
+            # re-root its spans so flushes always trace as serve/flush/...
+            with trace.propagate(("serve",)):
+                await self._worker_loop()
         except Exception as exc:
             # _flush confines per-batch failures to that batch's futures, so
             # reaching here means the loop itself broke. Fail everything
@@ -260,9 +264,10 @@ class MicroBatcher:
             # Stacking is inside the try: mismatched row lengths (callers
             # bypassing the server's per-row validation) must reject this
             # batch's futures, not kill the worker task.
-            rows = np.asarray([row for row, _ in batch], dtype=np.float64)
-            raw_labels, extra = self.predict_rows(rows)
-            labels = [int(v) for v in raw_labels]
+            with trace.span("flush"):
+                rows = np.asarray([row for row, _ in batch], dtype=np.float64)
+                raw_labels, extra = self.predict_rows(rows)
+                labels = [int(v) for v in raw_labels]
             if len(labels) != len(batch):
                 raise ServeError(
                     f"predict_rows returned {len(labels)} labels "

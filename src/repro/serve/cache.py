@@ -95,3 +95,17 @@ class LabelCache:
                 "evictions": self.evictions,
                 "hit_rate": round(self._hit_rate_locked(), 4),
             }
+
+    def export_metrics(self, registry) -> None:
+        """Publish one consistent snapshot as ``serve_cache_*`` gauges.
+
+        The cache keeps its own lock-guarded counters (the hot path must
+        not pay a registry hop per get); exposition surfaces call this at
+        scrape time, so the gauges are as fresh as the scrape and still
+        un-torn (they all come from one :meth:`snapshot`).
+        """
+        snap = self.snapshot()
+        for key in ("size", "maxsize", "hits", "misses", "evictions", "hit_rate"):
+            registry.gauge(
+                f"serve_cache_{key}", f"Label cache {key} at last scrape."
+            ).set(snap[key])

@@ -129,6 +129,10 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return _raise_on_error(self.request({"op": "stats"}))
 
+    def metrics(self) -> Dict[str, Any]:
+        """Scrape telemetry: ``{"prometheus": <text>, "metrics": <json>}``."""
+        return _raise_on_error(self.request({"op": "metrics"}))
+
     def healthz(self) -> Dict[str, Any]:
         return _raise_on_error(self.request({"op": "healthz"}))
 
@@ -187,6 +191,9 @@ class AsyncServeClient:
 
     async def stats(self) -> Dict[str, Any]:
         return _raise_on_error(await self.request({"op": "stats"}))
+
+    async def metrics(self) -> Dict[str, Any]:
+        return _raise_on_error(await self.request({"op": "metrics"}))
 
     async def close(self) -> None:
         if self._writer is not None:

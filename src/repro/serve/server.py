@@ -7,6 +7,7 @@ per line, one response per line::
     {"op": "predict", "x": [[...], [...]]}           # batch of points
     {"op": "model-info"}
     {"op": "stats"}
+    {"op": "metrics"}                                # Prometheus text + JSON
     {"op": "healthz"}
     {"op": "reload", "path": "model.json", "tag": "nightly"}   # admin
     {"op": "shutdown"}                                         # admin
@@ -39,6 +40,13 @@ import numpy as np
 
 from repro.core.model import KeyBin2Model
 from repro.errors import QueueFullError, ServeError, ValidationError
+from repro.obs import (
+    default_registry,
+    ensure_core_series,
+    render_json,
+    render_prometheus,
+    trace,
+)
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import LabelCache
 from repro.serve.registry import ModelRecord, ModelRegistry
@@ -73,24 +81,27 @@ class InferenceService:
         cluster-table lookup is served from the LRU per unique cell code;
         only codes never seen under this model version hit the table.
         """
-        record = self.registry.current()  # one consistent snapshot per batch
-        model = record.model
-        codes = model.cell_codes_for(rows)
-        uniq, inverse = np.unique(codes, return_inverse=True)
-        uniq_labels = np.empty(uniq.size, dtype=np.int64)
-        miss_positions = []
-        for i, code in enumerate(uniq):
-            hit = self.cache.get(record.version, int(code))
-            if hit is None:
-                miss_positions.append(i)
-            else:
-                uniq_labels[i] = hit
-        if miss_positions:
-            fresh = model.table.lookup(uniq[miss_positions])
-            for pos, label in zip(miss_positions, fresh):
-                uniq_labels[pos] = label
-                self.cache.put(record.version, int(uniq[pos]), int(label))
-        return uniq_labels[inverse], record
+        with trace.span("predict"):
+            record = self.registry.current()  # one consistent snapshot per batch
+            model = record.model
+            with trace.span("codes"):
+                codes = model.cell_codes_for(rows)
+            uniq, inverse = np.unique(codes, return_inverse=True)
+            uniq_labels = np.empty(uniq.size, dtype=np.int64)
+            miss_positions = []
+            for i, code in enumerate(uniq):
+                hit = self.cache.get(record.version, int(code))
+                if hit is None:
+                    miss_positions.append(i)
+                else:
+                    uniq_labels[i] = hit
+            if miss_positions:
+                with trace.span("table_lookup"):
+                    fresh = model.table.lookup(uniq[miss_positions])
+                for pos, label in zip(miss_positions, fresh):
+                    uniq_labels[pos] = label
+                    self.cache.put(record.version, int(uniq[pos]), int(label))
+            return uniq_labels[inverse], record
 
     def predict_single(self, row: np.ndarray) -> Tuple[int, ModelRecord]:
         """One point per call — the naive loop the batcher is measured against."""
@@ -223,6 +234,8 @@ class ModelServer:
                 return {"ok": True, **self.registry.current().info()}
             if op == "stats":
                 return {"ok": True, **self._stats_payload()}
+            if op == "metrics":
+                return {"ok": True, **self._metrics_payload()}
             if op == "healthz":
                 return self._op_healthz()
             if op in ("reload", "shutdown") and not self.allow_admin:
@@ -293,10 +306,13 @@ class ModelServer:
 
     def _op_healthz(self) -> Dict[str, Any]:
         record = self.registry.current_or_none()
+        # version + fingerprint let a scraper correlate health samples with
+        # metrics series across hot-swaps (the registry tracks versions).
         return {
             "ok": True,
             "status": "serving" if record is not None else "no-model",
             "version": None if record is None else record.version,
+            "fingerprint": None if record is None else record.fingerprint,
             "uptime_s": round(self.stats.uptime_s, 3),
             "queue_depth": self.batcher.queue_depth,
         }
@@ -326,7 +342,34 @@ class ModelServer:
         payload["cache"] = self.cache.snapshot()
         payload["queue_depth"] = self.batcher.queue_depth
         payload["registry"] = self.registry.info()
+        record = self.registry.current_or_none()
+        payload["model_version"] = None if record is None else record.version
+        payload["model_fingerprint"] = (
+            None if record is None else record.fingerprint
+        )
         return payload
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        """Both exposition forms over the serve + process-global registries."""
+        ensure_core_series(default_registry())
+        reg = self.stats.registry
+        self.stats.snapshot()  # refreshes the uptime gauge
+        self.cache.export_metrics(reg)
+        reg.gauge(
+            "serve_queue_depth", "Rows waiting in the micro-batcher."
+        ).set(self.batcher.queue_depth)
+        record = self.registry.current_or_none()
+        reg.gauge(
+            "serve_model_version", "Currently published model version."
+        ).set(0 if record is None else record.version)
+        reg.gauge(
+            "serve_model_swaps_total", "Hot-swaps performed by the registry."
+        ).set(self.registry.swaps)
+        registries = [reg, default_registry()]
+        return {
+            "prometheus": render_prometheus(registries),
+            "metrics": render_json(registries),
+        }
 
 
 class ServerHandle:

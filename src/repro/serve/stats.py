@@ -1,74 +1,179 @@
-"""Serving-side operational metrics.
+"""Serving-side operational metrics, backed by the obs metrics registry.
 
 One :class:`ServeStats` instance is shared by the micro-batcher and the
-server front-end. Everything here is cheap increment-only counting on
-the hot path; aggregation (throughput, histograms, quantiles) happens at
+server front-end. Recording is cheap registry-counter increments on the
+hot path; aggregation (throughput, histograms, quantiles) happens at
 :meth:`ServeStats.snapshot` time, which is what the ``stats`` RPC
 returns.
+
+Since the telemetry PR, every series lives in a
+:class:`~repro.obs.registry.MetricsRegistry` (private to the instance by
+default, so two servers in one process never cross-count), which is what
+the ``{"op": "metrics"}`` RPC renders as Prometheus text. The legacy
+attribute surface (``stats.requests_total``, ``stats.versions_served``,
+``snapshot()``) is preserved on top as properties.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["ServeStats", "quantiles"]
 
+#: Power-of-two batch-size buckets: floor bucket ``b`` counts flushes of
+#: size in [b, 2b); 8192 comfortably covers any sane ``max_batch``.
+_BATCH_BUCKET_FLOORS = tuple(1 << i for i in range(14))
+
 
 def _bucket(n: int) -> int:
-    """Power-of-two bucket floor for the batch-size histogram."""
+    """Power-of-two bucket floor for the batch-size histogram.
+
+    Defensive on ``n <= 0`` (empty flushes cannot happen, but a stats
+    layer must never loop or throw on garbage): everything below 1 lands
+    in the smallest bucket.
+    """
+    n = int(n)
+    if n <= 1:
+        return 1
     b = 1
     while b * 2 <= n:
         b *= 2
     return b
 
 
-class ServeStats:
-    """Counters + batch-size histogram for one serving process."""
+def bucket_upper_bound(floor: int) -> int:
+    """Inclusive upper bound of the floor bucket (``[b, 2b)`` → ``2b − 1``)."""
+    return 2 * int(floor) - 1
 
-    def __init__(self):
-        self._lock = threading.Lock()
+
+class ServeStats:
+    """Counters + batch-size histogram for one serving process.
+
+    Parameters
+    ----------
+    registry:
+        Backing :class:`MetricsRegistry`. Default: a fresh private one,
+        so each server instance reports only its own traffic. Pass a
+        shared registry to aggregate several pipelines into one scrape
+        (series then sum across instances).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
         self.started_at = time.time()
         self._t0 = time.perf_counter()
-        self.requests_total = 0
-        self.points_total = 0
-        self.errors_total = 0
-        self.rejected_total = 0  # backpressure rejections (queue full)
-        self.batches_total = 0
-        self.batched_points_total = 0
-        self.service_time_s = 0.0  # time inside model predict calls
-        self.batch_size_hist: Dict[int, int] = {}
-        self.max_batch_seen = 0
-        self.versions_served: Dict[int, int] = {}  # version -> points labeled
+        self._requests = reg.counter(
+            "serve_requests_total", "Predict requests accepted by the front-end."
+        )
+        self._points = reg.counter(
+            "serve_points_total", "Points contained in accepted predict requests."
+        )
+        self._errors = reg.counter(
+            "serve_errors_total", "Requests rejected or failed with an error."
+        )
+        self._rejected = reg.counter(
+            "serve_rejected_total", "Backpressure rejections (queue full)."
+        )
+        self._batches = reg.counter(
+            "serve_batches_total", "Vectorized model calls (flushes)."
+        )
+        self._batched_points = reg.counter(
+            "serve_batched_points_total", "Points labeled across all flushes."
+        )
+        self._service_seconds = reg.counter(
+            "serve_service_seconds_total", "Seconds spent inside model predict calls."
+        )
+        self._batch_bucket = reg.counter(
+            "serve_batch_size_batches_total",
+            "Flushes per power-of-two batch-size bucket (label = bucket floor).",
+            ("bucket",),
+        )
+        self._max_batch = reg.gauge(
+            "serve_max_batch_size", "Largest flush observed (high-water mark)."
+        )
+        self._by_version = reg.counter(
+            "serve_points_by_version_total",
+            "Points labeled per model version (correlates across hot-swaps).",
+            ("version",),
+        )
+        reg.gauge("serve_uptime_seconds", "Seconds since this stats instance started.")
 
     # -- hot-path recording --------------------------------------------------
 
     def record_request(self, n_points: int) -> None:
-        with self._lock:
-            self.requests_total += 1
-            self.points_total += int(n_points)
+        self._requests.inc()
+        self._points.inc(int(n_points))
 
     def record_error(self) -> None:
-        with self._lock:
-            self.errors_total += 1
+        self._errors.inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.rejected_total += 1
+        self._rejected.inc()
 
     def record_batch(self, size: int, service_s: float, version: int) -> None:
-        b = _bucket(max(int(size), 1))
-        with self._lock:
-            self.batches_total += 1
-            self.batched_points_total += int(size)
-            self.service_time_s += float(service_s)
-            self.batch_size_hist[b] = self.batch_size_hist.get(b, 0) + 1
-            if size > self.max_batch_seen:
-                self.max_batch_seen = int(size)
-            self.versions_served[version] = (
-                self.versions_served.get(version, 0) + int(size)
-            )
+        size = int(size)
+        self._batches.inc()
+        self._batched_points.inc(size)
+        self._service_seconds.inc(float(service_s))
+        self._batch_bucket.labels(bucket=_bucket(size)).inc()
+        self._max_batch.set_max(size)
+        self._by_version.labels(version=version).inc(size)
+
+    # -- legacy attribute surface ---------------------------------------------
+
+    @property
+    def requests_total(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def points_total(self) -> int:
+        return int(self._points.value)
+
+    @property
+    def errors_total(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def rejected_total(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def batches_total(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def batched_points_total(self) -> int:
+        return int(self._batched_points.value)
+
+    @property
+    def service_time_s(self) -> float:
+        return float(self._service_seconds.value)
+
+    @property
+    def max_batch_seen(self) -> int:
+        return int(self._max_batch.value)
+
+    @property
+    def batch_size_hist(self) -> Dict[int, int]:
+        """Flush counts by power-of-two bucket floor (legacy shape)."""
+        samples = self._batch_bucket.snapshot()["samples"]
+        return {
+            int(s["labels"]["bucket"]): int(s["value"])
+            for s in samples if s["value"]
+        }
+
+    @property
+    def versions_served(self) -> Dict[int, int]:
+        """Model version → points labeled by it."""
+        samples = self._by_version.snapshot()["samples"]
+        return {
+            int(s["labels"]["version"]): int(s["value"])
+            for s in samples if s["value"]
+        }
 
     # -- reporting -------------------------------------------------------------
 
@@ -78,33 +183,36 @@ class ServeStats:
 
     @property
     def mean_batch_size(self) -> float:
-        return (
-            self.batched_points_total / self.batches_total
-            if self.batches_total else 0.0
-        )
+        batches = self.batches_total
+        return self.batched_points_total / batches if batches else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly summary (the ``stats`` RPC payload)."""
-        with self._lock:
-            uptime = self.uptime_s
-            hist = {str(k): v for k, v in sorted(self.batch_size_hist.items())}
-            return {
-                "uptime_s": round(uptime, 3),
-                "requests_total": self.requests_total,
-                "points_total": self.points_total,
-                "errors_total": self.errors_total,
-                "rejected_total": self.rejected_total,
-                "throughput_rps": round(self.requests_total / uptime, 1)
-                if uptime > 0 else 0.0,
-                "batches_total": self.batches_total,
-                "mean_batch_size": round(self.mean_batch_size, 2),
-                "max_batch_seen": self.max_batch_seen,
-                "batch_size_hist": hist,
-                "service_time_s": round(self.service_time_s, 4),
-                "versions_served": {
-                    str(k): v for k, v in sorted(self.versions_served.items())
-                },
-            }
+        uptime = self.uptime_s
+        self.registry.gauge("serve_uptime_seconds").set(uptime)
+        hist = self.batch_size_hist
+        return {
+            "uptime_s": round(uptime, 3),
+            "requests_total": self.requests_total,
+            "points_total": self.points_total,
+            "errors_total": self.errors_total,
+            "rejected_total": self.rejected_total,
+            "throughput_rps": round(self.requests_total / uptime, 1)
+            if uptime > 0 else 0.0,
+            "batches_total": self.batches_total,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "max_batch_seen": self.max_batch_seen,
+            "batch_size_hist": {str(k): v for k, v in sorted(hist.items())},
+            # Inclusive upper bound per occupied bucket, so exposition
+            # layers can render real histogram edges ([b, 2b) → 2b − 1).
+            "batch_size_bucket_bounds": {
+                str(k): bucket_upper_bound(k) for k in sorted(hist)
+            },
+            "service_time_s": round(self.service_time_s, 4),
+            "versions_served": {
+                str(k): v for k, v in sorted(self.versions_served.items())
+            },
+        }
 
 
 def quantiles(samples: List[float], qs=(0.5, 0.9, 0.99)) -> Dict[str, float]:

@@ -4,6 +4,16 @@
 experiment drivers can report per-phase breakdowns (project / bin / comm /
 partition / assign) the way the paper's complexity analysis slices the
 algorithm.
+
+.. deprecated::
+    :class:`TimingRegistry` is kept for the benchmark harness's existing
+    call sites but is now a thin shim over the :mod:`repro.obs` metrics
+    registry: every :meth:`TimingRegistry.add` also lands in the obs
+    default registry as ``timing_section_seconds_total{section=...}`` /
+    ``timing_section_calls_total{section=...}``, so legacy section timings
+    show up in the same ``metrics`` scrape and ``obs-report`` output as
+    phase spans. New code should use :func:`repro.obs.trace.span` (nested
+    phase paths) or the registry directly instead of this class.
 """
 
 from __future__ import annotations
@@ -12,6 +22,8 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
+
+from repro.obs import default_registry
 
 __all__ = ["Timer", "TimingRegistry"]
 
@@ -41,7 +53,12 @@ class Timer:
 
 @dataclass
 class TimingRegistry:
-    """Accumulates wall-clock time per named section across repetitions."""
+    """Accumulates wall-clock time per named section across repetitions.
+
+    .. deprecated:: see the module docstring — this is a compatibility
+        shim; it mirrors every sample into the :mod:`repro.obs` default
+        registry and new code should record there directly.
+    """
 
     sections: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
 
@@ -50,7 +67,20 @@ class TimingRegistry:
         return _Section(self, name)
 
     def add(self, name: str, seconds: float) -> None:
-        self.sections[name].append(float(seconds))
+        seconds = float(seconds)
+        self.sections[name].append(seconds)
+        reg = default_registry()
+        if reg.enabled:
+            reg.counter(
+                "timing_section_seconds_total",
+                "Seconds recorded through the legacy TimingRegistry shim.",
+                ("section",),
+            ).labels(section=name).inc(max(seconds, 0.0))
+            reg.counter(
+                "timing_section_calls_total",
+                "Samples recorded through the legacy TimingRegistry shim.",
+                ("section",),
+            ).labels(section=name).inc()
 
     def total(self, name: str) -> float:
         return float(sum(self.sections.get(name, ())))

@@ -1,0 +1,18 @@
+"""Fixtures for the observability-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_default_registry
+
+
+@pytest.fixture()
+def fresh_default():
+    """Install a fresh registry as the process default, restore on exit."""
+    reg = MetricsRegistry()
+    previous = set_default_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_default_registry(previous)

@@ -1,0 +1,96 @@
+"""Phase-tracer tests: nesting, thread propagation, disabled no-op."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, PhaseTracer, trace
+from repro.obs.trace import _NOOP_SPAN
+
+
+def _phase_values(reg, name="phase_seconds_total"):
+    fam = reg.get(name)
+    if fam is None:
+        return {}
+    return {
+        s["labels"]["phase"]: s["value"] for s in fam.snapshot()["samples"]
+    }
+
+
+def test_nested_spans_build_slash_paths():
+    reg = MetricsRegistry()
+    tracer = PhaseTracer(reg)
+    with tracer.span("partial_fit"):
+        with tracer.span("project"):
+            pass
+        with tracer.span("bin"):
+            pass
+    phases = set(_phase_values(reg))
+    assert phases == {"partial_fit", "partial_fit/project", "partial_fit/bin"}
+    calls = _phase_values(reg, "phase_calls_total")
+    assert calls["partial_fit"] == 1
+    assert calls["partial_fit/project"] == 1
+
+
+def test_span_elapsed_and_seconds_accumulate():
+    reg = MetricsRegistry()
+    tracer = PhaseTracer(reg)
+    with tracer.span("work") as sp:
+        pass
+    assert sp.elapsed >= 0.0
+    assert _phase_values(reg)["work"] == pytest.approx(sp.elapsed)
+    with tracer.span("work"):
+        pass
+    assert _phase_values(reg, "phase_calls_total")["work"] == 2
+
+
+def test_path_restored_after_exit_even_on_error():
+    reg = MetricsRegistry()
+    tracer = PhaseTracer(reg)
+    try:
+        with tracer.span("outer"):
+            assert tracer.current_path() == ("outer",)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.current_path() == ()
+    # The failed span still recorded (its time was genuinely spent).
+    assert _phase_values(reg, "phase_calls_total")["outer"] == 1
+
+
+def test_propagate_reroots_worker_thread():
+    reg = MetricsRegistry()
+    tracer = PhaseTracer(reg)
+    done = threading.Event()
+
+    def worker():
+        # A fresh thread starts from an empty contextvar path; propagate
+        # re-roots it so spans attribute under the logical parent.
+        assert tracer.current_path() == ()
+        with tracer.propagate(("serve",)):
+            with tracer.span("flush"):
+                pass
+        assert tracer.current_path() == ()
+        done.set()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert done.is_set()
+    assert "serve/flush" in _phase_values(reg)
+
+
+def test_disabled_registry_hands_back_shared_noop_span():
+    reg = MetricsRegistry(enabled=False)
+    tracer = PhaseTracer(reg)
+    sp = tracer.span("anything")
+    assert sp is _NOOP_SPAN
+    with sp:
+        assert tracer.current_path() == ()
+    assert reg.get("phase_calls_total") is None
+
+
+def test_module_tracer_follows_default_registry(fresh_default):
+    with trace.span("root"):
+        pass
+    assert "root" in _phase_values(fresh_default)

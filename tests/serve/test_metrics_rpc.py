@@ -1,0 +1,111 @@
+"""The ``{"op": "metrics"}`` RPC: exposition content, healthz/stats extras."""
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchPolicy, ModelRegistry, ServeClient, serve_in_thread
+
+
+@pytest.fixture()
+def live(served_model):
+    registry = ModelRegistry()
+    registry.publish(served_model)
+    with serve_in_thread(registry, policy=BatchPolicy(max_delay_s=0.002)) as handle:
+        with ServeClient(*handle.address) as client:
+            yield registry, handle, client
+
+
+def _predict_some(client, n=6):
+    rng = np.random.default_rng(0)
+    for _ in range(n):
+        client.predict(rng.normal(size=16))
+
+
+class TestMetricsOp:
+    def test_returns_both_exposition_forms(self, live):
+        _registry, _handle, client = live
+        _predict_some(client)
+        payload = client.metrics()
+        assert payload["ok"] is True
+        assert isinstance(payload["prometheus"], str)
+        assert isinstance(payload["metrics"], dict)
+
+    def test_prometheus_text_contains_serve_and_core_series(self, live):
+        _registry, _handle, client = live
+        _predict_some(client)
+        text = client.metrics()["prometheus"]
+        # Serve counters with real traffic behind them.
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_points_total" in text
+        assert "serve_cache_hits" in text
+        assert "serve_uptime_seconds" in text
+        # Core cross-layer families are declared even in a serve-only
+        # process (ensure_core_series) so scrapers see stable series.
+        assert "# TYPE phase_calls_total counter" in text
+        assert "# TYPE insitu_consolidation_bytes_total counter" in text
+
+    def test_json_form_has_request_counts(self, live):
+        _registry, _handle, client = live
+        _predict_some(client, n=5)
+        fams = client.metrics()["metrics"]["families"]
+        reqs = fams["serve_requests_total"]["samples"][0]["value"]
+        assert reqs >= 5
+        version_samples = fams["serve_points_by_version_total"]["samples"]
+        assert sum(s["value"] for s in version_samples) >= 5
+
+    def test_predict_phase_spans_recorded(self, live):
+        _registry, _handle, client = live
+        _predict_some(client)
+        fams = client.metrics()["metrics"]["families"]
+        phases = {
+            s["labels"]["phase"]
+            for s in fams["phase_calls_total"]["samples"]
+        }
+        # The batcher worker re-roots under "serve"; predict_rows nests
+        # beneath the flush span.
+        assert any(p.endswith("predict") for p in phases)
+        assert any("flush" in p for p in phases)
+
+    def test_model_identity_gauges(self, live):
+        registry, _handle, client = live
+        fams = client.metrics()["metrics"]["families"]
+        version = fams["serve_model_version"]["samples"][0]["value"]
+        assert version == registry.current().version
+
+    def test_raw_request_form(self, live):
+        _registry, _handle, client = live
+        payload = client.request({"op": "metrics"})
+        assert payload["ok"] is True
+        assert "prometheus" in payload and "metrics" in payload
+
+
+class TestHealthzExtras:
+    def test_healthz_reports_fingerprint_and_uptime(self, live):
+        registry, _handle, client = live
+        health = client.healthz()
+        record = registry.current()
+        assert health["version"] == record.version
+        assert health["fingerprint"] == record.fingerprint
+        assert health["uptime_s"] >= 0.0
+
+
+class TestStatsExtras:
+    def test_stats_reports_model_identity(self, live):
+        registry, _handle, client = live
+        _predict_some(client)
+        stats = client.stats()
+        record = registry.current()
+        assert stats["model_version"] == record.version
+        assert stats["model_fingerprint"] == record.fingerprint
+        assert stats["uptime_s"] >= 0.0
+
+    def test_stats_exposes_batch_bucket_bounds(self, live):
+        _registry, _handle, client = live
+        _predict_some(client)
+        stats = client.stats()
+        hist = stats["batch_size_hist"]
+        bounds = stats["batch_size_bucket_bounds"]
+        assert hist  # at least one flush happened
+        for floor in hist:
+            # Power-of-two floor f covers [f, 2f), inclusive bound 2f-1.
+            assert bounds[floor] == 2 * int(floor) - 1
