@@ -299,11 +299,22 @@ def _run_obs_report(argv: List[str]) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true",
                         help="emit the raw registry snapshot as JSON")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault plan for chaos runs, e.g. "
+                             "'kill:1@1' or 'kill:2@1,slow:0:0.002' "
+                             "(kill:R@K, drop:S>D@N, delay:S>D@N:SECS, "
+                             "slow:R:SECS); enables recovery and reports the "
+                             "survivors' recovery counters")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write per-rank checkpoints after every "
+                             "consolidation; an existing directory resumes "
+                             "the run from its last complete round")
     args = parser.parse_args(argv)
     print(run_obs_report(
         n_ranks=args.ranks, n_frames=args.frames, chunk_size=args.chunk,
         consolidate_every=args.every, seed=args.seed,
-        reduce_algo=args.reduce, as_json=args.json,
+        reduce_algo=args.reduce, as_json=args.json, faults=args.faults,
+        checkpoint_dir=args.checkpoint_dir,
     ))
     return 0
 

@@ -20,8 +20,19 @@ from __future__ import annotations
 
 from repro.comm.base import Communicator, ReduceOp
 from repro.comm.serial import SerialComm
+from repro.comm.mailbox import MailboxComm
+from repro.comm.membership import agree_on_survivors, agreement_timeout_for
 from repro.comm.traffic import TrafficStats
 from repro.comm.spmd import run_spmd, spmd_available_executors
+from repro.comm.faults import (
+    DelayMessage,
+    DropMessage,
+    FaultInjector,
+    FaultPlan,
+    KillRank,
+    SlowRank,
+    maybe_inject,
+)
 from repro.comm.ring import (
     ring_allreduce,
     ring_reduce_scatter,
@@ -39,9 +50,19 @@ __all__ = [
     "Communicator",
     "ReduceOp",
     "SerialComm",
+    "MailboxComm",
     "TrafficStats",
     "run_spmd",
     "spmd_available_executors",
+    "agree_on_survivors",
+    "agreement_timeout_for",
+    "FaultPlan",
+    "FaultInjector",
+    "KillRank",
+    "DropMessage",
+    "DelayMessage",
+    "SlowRank",
+    "maybe_inject",
     "ring_allreduce",
     "ring_reduce_scatter",
     "ring_allgather",

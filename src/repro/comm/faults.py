@@ -1,0 +1,254 @@
+"""Deterministic fault injection for SPMD chaos testing.
+
+A :class:`FaultPlan` is a declarative, picklable description of the faults
+one run should experience: kill rank r at consolidation round k, drop or
+delay the n-th message on an edge, slow a rank down. Every fault fires at
+a deterministic point (message index or application round), so a chaos
+test that passes once passes always — and a recovery bug reproduces
+exactly under the same plan and seed.
+
+The plan is installed by :func:`repro.comm.spmd.run_spmd` (``faults=``):
+each rank gets a :class:`FaultInjector` bound to its
+:class:`~repro.comm.mailbox.MailboxComm`, which consults the plan on
+every send. Application-level faults (rank kills) fire when the program
+reaches a named event and calls :func:`maybe_inject` — the distributed
+in-situ loop does so before every consolidation round.
+
+Plans can be written in code or parsed from a compact CLI spec::
+
+    kill:1@2            kill rank 1 at consolidation round 2
+    drop:0>2@3          drop the 3rd message rank 0 sends to rank 2
+    delay:2>0@1:0.5     delay the 1st message rank 2 sends to rank 0 by 0.5 s
+    slow:1:0.01         sleep 10 ms before every send from rank 1
+
+separated by commas: ``--faults "kill:1@2,slow:0:0.005"``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import InjectedFault, ValidationError
+from repro.util.rng import as_generator
+
+__all__ = [
+    "KillRank",
+    "DropMessage",
+    "DelayMessage",
+    "SlowRank",
+    "FaultPlan",
+    "FaultInjector",
+    "maybe_inject",
+]
+
+#: Event name the in-situ driver ticks before every consolidation round.
+CONSOLIDATION_EVENT = "consolidation"
+
+
+@dataclass(frozen=True)
+class KillRank:
+    """Kill ``rank`` when it reaches occurrence ``at`` of ``event``.
+
+    ``mode="raise"`` raises :class:`~repro.errors.InjectedFault` inside the
+    rank (a clean crash: the executor announces the failure to peers);
+    ``mode="exit"`` calls ``os._exit`` — only meaningful on the process
+    executor, where it simulates a SIGKILL/OOM death that never reports.
+    """
+
+    rank: int
+    at: int
+    event: str = CONSOLIDATION_EVENT
+    mode: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "exit"):
+            raise ValidationError(f"kill mode must be 'raise' or 'exit', got {self.mode!r}")
+        if self.rank < 0 or self.at < 0:
+            raise ValidationError("kill rank and round must be >= 0")
+
+
+@dataclass(frozen=True)
+class DropMessage:
+    """Silently drop the ``nth`` (1-based) message ``src`` sends to ``dst``."""
+
+    src: int
+    dst: int
+    nth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise ValidationError("nth is 1-based and must be >= 1")
+
+
+@dataclass(frozen=True)
+class DelayMessage:
+    """Deliver the ``nth`` (1-based) ``src``→``dst`` message ``seconds`` late."""
+
+    src: int
+    dst: int
+    nth: int = 1
+    seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise ValidationError("nth is 1-based and must be >= 1")
+        if self.seconds < 0:
+            raise ValidationError("delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class SlowRank:
+    """Sleep ``seconds`` before every message ``rank`` sends (a slow rank)."""
+
+    rank: int
+    seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValidationError("slowdown must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic set of faults for one SPMD run.
+
+    ``seed`` drives the optional jitter on message delays (``jitter > 0``
+    multiplies each delay by ``1 ± U(0, jitter)`` from a per-rank stream);
+    with the default ``jitter=0`` the plan is exactly reproducible down to
+    the sleep durations.
+    """
+
+    faults: List[Any] = field(default_factory=list)
+    seed: int = 0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if not isinstance(f, (KillRank, DropMessage, DelayMessage, SlowRank)):
+                raise ValidationError(f"unknown fault entry {f!r}")
+        if self.jitter < 0 or self.jitter >= 1:
+            raise ValidationError("jitter must be in [0, 1)")
+
+    def kills_for(self, rank: int) -> List[KillRank]:
+        return [f for f in self.faults if isinstance(f, KillRank) and f.rank == rank]
+
+    def killed_ranks(self) -> List[int]:
+        """Ranks the plan kills, sorted (what a chaos test expects to lose)."""
+        return sorted({f.rank for f in self.faults if isinstance(f, KillRank)})
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the compact CLI spec (see module docstring)."""
+        faults: List[Any] = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            fields = part.split(":")
+            kind = fields[0]
+            try:
+                if kind == "kill" and len(fields) == 2:
+                    rank_s, at_s = fields[1].split("@")
+                    faults.append(KillRank(int(rank_s), int(at_s)))
+                elif kind == "drop" and len(fields) == 2:
+                    edge, nth_s = fields[1].split("@")
+                    src_s, dst_s = edge.split(">")
+                    faults.append(DropMessage(int(src_s), int(dst_s), int(nth_s)))
+                elif kind == "delay" and len(fields) == 3:
+                    edge, nth_s = fields[1].split("@")
+                    src_s, dst_s = edge.split(">")
+                    faults.append(
+                        DelayMessage(int(src_s), int(dst_s), int(nth_s), float(fields[2]))
+                    )
+                elif kind == "slow" and len(fields) == 3:
+                    faults.append(SlowRank(int(fields[1]), float(fields[2])))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+            except (ValueError, IndexError) as exc:
+                raise ValidationError(
+                    f"cannot parse fault spec {part!r}: {exc} "
+                    "(expected kill:R@K, drop:S>D@N, delay:S>D@N:SECS, slow:R:SECS)"
+                ) from exc
+        return cls(faults, seed=seed)
+
+
+class FaultInjector:
+    """Per-rank runtime view of a :class:`FaultPlan`.
+
+    Holds the deterministic counters (messages sent per edge, events seen
+    per name) that decide when each fault fires. One injector per rank,
+    created by the executor and attached to the rank's communicator.
+    """
+
+    def __init__(self, plan: FaultPlan, rank: int):
+        self.plan = plan
+        self.rank = int(rank)
+        self._sent: Dict[int, int] = {}           # dest -> messages sent so far
+        self._events: Dict[str, int] = {}         # event name -> occurrences seen
+        self._slow = 0.0
+        for f in plan.faults:
+            if isinstance(f, SlowRank) and f.rank == self.rank:
+                self._slow = max(self._slow, f.seconds)
+        self._drops = {
+            (f.dst, f.nth): f
+            for f in plan.faults
+            if isinstance(f, DropMessage) and f.src == self.rank
+        }
+        self._delays = {
+            (f.dst, f.nth): f
+            for f in plan.faults
+            if isinstance(f, DelayMessage) and f.src == self.rank
+        }
+        self._rng = as_generator((plan.seed, self.rank)) if plan.jitter else None
+        self.dropped: List[Tuple[int, int]] = []   # (dest, nth) actually dropped
+        self.delayed: List[Tuple[int, int]] = []
+
+    def _sleep(self, seconds: float) -> None:
+        if self._rng is not None:
+            seconds *= 1.0 + float(self._rng.uniform(-self.plan.jitter, self.plan.jitter))
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def on_send(self, dest: int, tag: int) -> bool:
+        """Apply send-side faults; return ``False`` to drop the message.
+
+        ``dest`` is the *physical* rank (stable across communicator
+        shrinks), so plans keep meaning the same thing after a recovery.
+        """
+        nth = self._sent.get(dest, 0) + 1
+        self._sent[dest] = nth
+        if self._slow:
+            self._sleep(self._slow)
+        delay = self._delays.get((dest, nth))
+        if delay is not None:
+            self.delayed.append((dest, nth))
+            self._sleep(delay.seconds)
+        if (dest, nth) in self._drops:
+            self.dropped.append((dest, nth))
+            return False
+        return True
+
+    def on_event(self, event: str) -> None:
+        """Advance the named event counter; fire any matching kill."""
+        count = self._events.get(event, 0)
+        self._events[event] = count + 1
+        for kill in self.plan.kills_for(self.rank):
+            if kill.event == event and kill.at == count:
+                if kill.mode == "exit":  # pragma: no cover - exercised in subprocess
+                    import os
+
+                    os._exit(113)
+                raise InjectedFault(
+                    f"fault plan killed rank {self.rank} at {event} round {count}"
+                )
+
+
+def maybe_inject(comm: Any, event: str = CONSOLIDATION_EVENT) -> None:
+    """Tick the communicator's fault injector, if one is installed.
+
+    SPMD programs call this at named progress points (the in-situ driver
+    does before each consolidation). A plain run with no plan installed
+    pays one attribute lookup.
+    """
+    injector = getattr(comm, "fault_injector", None)
+    if injector is not None:
+        injector.on_event(event)

@@ -10,13 +10,32 @@ Sends are *buffered*: ``put`` on both :class:`queue.SimpleQueue` and
 :class:`multiprocessing.queues.Queue` returns without waiting for a matching
 receive, which is what makes the default collectives in
 :class:`~repro.comm.base.Communicator` deadlock-free.
+
+Fault tolerance
+---------------
+Three extensions make the mailbox substrate recoverable:
+
+* a receive that times out raises :class:`~repro.errors.RankFailedError`
+  with ``confirmed=False`` (the peer *may* merely be slow) instead of a
+  bare :class:`~repro.errors.CommError`, so one except clause catches both
+  announced deaths and silent stalls;
+* :meth:`MailboxComm.shrink` builds a survivor-only communicator over the
+  same physical inboxes. Each shrink bumps an *epoch* that offsets every
+  wire tag, so stragglers from an abandoned collective can never be
+  mistaken for messages of the recovered one;
+* :meth:`MailboxComm.recv_probe` is a non-raising receive with a local
+  timeout, the primitive the survivor-agreement protocol
+  (:mod:`repro.comm.membership`) is built from.
+
+An optional :class:`~repro.comm.faults.FaultInjector` hooks every send for
+deterministic chaos testing (message drops, delays, slow ranks).
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.comm.base import Communicator
 from repro.errors import CommError, RankFailedError
@@ -25,6 +44,19 @@ __all__ = ["MailboxComm"]
 
 #: Sentinel tag announcing that a peer rank died before completing the program.
 FAILURE_TAG = -999
+
+#: Sentinel tag announcing that a peer rank abandoned the current epoch's
+#: collective to run the recovery protocol. Without it, a survivor blocked
+#: receiving from a *live* peer (e.g. waiting for the root's broadcast while
+#: the root is off running survivor agreement) would only join the recovery
+#: at its full receive timeout.
+RECOVERY_TAG = -998
+
+#: Tag-space offset between epochs. Application and collective tags must
+#: stay within (-_EPOCH_STRIDE/2, _EPOCH_STRIDE/2); the library's own tags
+#: are all small negatives, and SPMD programs conventionally use small
+#: non-negative tags.
+_EPOCH_STRIDE = 1_000_000
 
 
 class MailboxComm(Communicator):
@@ -35,12 +67,15 @@ class MailboxComm(Communicator):
     rank, size:
         SPMD identity.
     inboxes:
-        Sequence of ``size`` queue-like objects (``put``/``get`` API).
-        ``inboxes[r]`` is the inbound queue of rank ``r``. All ranks share
-        the same sequence.
+        Sequence of queue-like objects (``put``/``get`` API), one per
+        *physical* rank. ``inboxes[r]`` is the inbound queue of physical
+        rank ``r``. All ranks share the same sequence.
     timeout:
         Seconds to wait in ``recv`` before declaring the peer lost. ``None``
         waits forever.
+    injector:
+        Optional :class:`~repro.comm.faults.FaultInjector` consulted on
+        every send (chaos testing only).
     """
 
     def __init__(
@@ -49,51 +84,163 @@ class MailboxComm(Communicator):
         size: int,
         inboxes: Sequence[Any],
         timeout: Optional[float] = None,
+        injector: Optional[Any] = None,
     ):
         super().__init__(rank, size)
-        if len(inboxes) != size:
+        if len(inboxes) < size:
             raise CommError(f"need {size} inboxes, got {len(inboxes)}")
         self._inboxes = inboxes
         self._timeout = timeout
+        # Keyed by (physical source, wire tag); shared with shrunken views
+        # so a message drained under one epoch is visible to the next.
         self._pending: Dict[Tuple[int, int], deque] = {}
+        self.fault_injector = injector
+        # Physical-rank bookkeeping. A fresh communicator is the identity
+        # mapping; shrink() produces views with a sparse survivor map.
+        self._physical: List[int] = list(range(size))
+        self._my_physical = rank
+        self._epoch = 0
+        self._dead: Set[int] = set()           # physical ranks known dead
+        self._failure_notices: Dict[int, str] = {}
+        # epoch -> (blamed physical rank, confirmed, reason); first notice
+        # per epoch wins. Shared with shrunken views so a notice drained
+        # under one epoch survives into the next rank's bookkeeping.
+        self._recovery_notices: Dict[int, Tuple[int, bool, str]] = {}
+
+    # -- identity across shrinks ------------------------------------------
+
+    @property
+    def physical_rank(self) -> int:
+        """This rank's index in the *original* communicator.
+
+        Stable across :meth:`shrink`; what checkpoints and fault plans key
+        on.
+        """
+        return self._my_physical
+
+    @property
+    def epoch(self) -> int:
+        """Recovery generation: 0 at launch, +1 per survivor shrink."""
+        return self._epoch
+
+    @property
+    def dead_ranks(self) -> frozenset:
+        """Physical ranks confirmed dead so far."""
+        return frozenset(self._dead)
+
+    def _wire_tag(self, tag: int) -> int:
+        return tag + self._epoch * _EPOCH_STRIDE
+
+    # -- point to point ----------------------------------------------------
 
     def _send_impl(self, obj: Any, dest: int, tag: int) -> None:
-        self._inboxes[dest].put((self._rank, tag, obj))
+        dest_phys = self._physical[dest]
+        if self.fault_injector is not None:
+            if not self.fault_injector.on_send(dest_phys, tag):
+                return  # injected message drop
+        self._inboxes[dest_phys].put((self._my_physical, self._wire_tag(tag), obj))
 
     def _recv_impl(self, source: int, tag: int) -> Any:
-        key = (source, tag)
+        source_phys = self._physical[source]
+        status, payload = self._drain_until(source_phys, self._wire_tag(tag),
+                                            self._timeout, heed_recovery=True)
+        if status == "ok":
+            return payload
+        if status == "recovery":
+            blamed, confirmed, reason = payload
+            raise RankFailedError(
+                f"rank {self._my_physical}: a peer abandoned epoch "
+                f"{self._epoch} to recover, blaming rank {blamed}: {reason}",
+                rank=blamed,
+                confirmed=confirmed,
+            )
+        if status == "failed":
+            raise RankFailedError(
+                f"rank {source_phys} failed while rank {self._my_physical} was "
+                f"waiting for a message: {payload}",
+                rank=source_phys,
+                confirmed=True,
+            )
+        raise RankFailedError(
+            f"rank {self._my_physical}: timed out after {self._timeout}s waiting "
+            f"for a message from rank {source_phys} (tag {tag}); peer presumed "
+            "failed or stalled",
+            rank=source_phys,
+            confirmed=False,
+        )
+
+    def recv_probe(
+        self, source: int, tag: int, timeout: Optional[float]
+    ) -> Tuple[str, Any]:
+        """Non-raising receive with its own timeout.
+
+        Returns ``("ok", payload)``, ``("timeout", None)``, or
+        ``("failed", reason)`` when a failure sentinel *from source* (or a
+        source already known dead) is seen. Failure sentinels from third
+        parties are recorded in :meth:`drain_failure_notices` and do not
+        abort the probe — the agreement protocol wants to keep collecting
+        votes while learning about other deaths.
+        """
+        source_phys = self._physical[source]
+        return self._drain_until(source_phys, self._wire_tag(tag), timeout)
+
+    def _drain_until(
+        self,
+        source_phys: int,
+        wire_tag: int,
+        timeout: Optional[float],
+        heed_recovery: bool = False,
+    ) -> Tuple[str, Any]:
+        if heed_recovery and self._epoch in self._recovery_notices:
+            # The current epoch is already abandoned: abort before blocking
+            # so this rank joins the survivor agreement promptly.
+            return "recovery", self._recovery_notices[self._epoch]
+        key = (source_phys, wire_tag)
         box = self._pending.get(key)
         if box:
-            return box.popleft()
-        deadline = None if self._timeout is None else time.monotonic() + self._timeout
+            return "ok", box.popleft()
+        if source_phys in self._dead:
+            return "failed", self._failure_notices.get(source_phys, "known dead")
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             remaining: Optional[float] = None
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    raise CommError(
-                        f"rank {self._rank}: timed out waiting for message "
-                        f"from rank {source} (tag {tag})"
-                    )
+                    return "timeout", None
             try:
                 src, msg_tag, payload = self._get(remaining)
             except TimeoutError:
-                raise CommError(
-                    f"rank {self._rank}: timed out waiting for message "
-                    f"from rank {source} (tag {tag})"
-                ) from None
+                return "timeout", None
             if msg_tag == FAILURE_TAG:
-                raise RankFailedError(
-                    f"rank {src} failed while rank {self._rank} was waiting "
-                    f"for a message: {payload}",
-                    rank=src,
+                # Epoch-independent: a dying rank announces with the raw tag.
+                if src not in self._dead:
+                    self._dead.add(src)
+                    self._failure_notices[src] = str(payload)
+                if src == source_phys:
+                    return "failed", str(payload)
+                continue
+            if msg_tag == RECOVERY_TAG:
+                # Raw-tagged like FAILURE_TAG; the payload carries the epoch
+                # the initiator abandoned. Notices for other epochs are
+                # recorded but inert (a stale epoch can never come back).
+                epoch, blamed, confirmed, reason = payload
+                self._recovery_notices.setdefault(
+                    epoch, (int(blamed), bool(confirmed), str(reason))
                 )
-            if src == source and msg_tag == tag:
-                return payload
+                if heed_recovery and epoch == self._epoch:
+                    return "recovery", self._recovery_notices[epoch]
+                continue
+            if src == source_phys and msg_tag == wire_tag:
+                return "ok", payload
             self._pending.setdefault((src, msg_tag), deque()).append(payload)
 
+    def drain_failure_notices(self) -> Dict[int, str]:
+        """Physical ranks whose failure sentinels this rank has observed."""
+        return dict(self._failure_notices)
+
     def _get(self, timeout: Optional[float]) -> Tuple[int, int, Any]:
-        queue = self._inboxes[self._rank]
+        queue = self._inboxes[self._my_physical]
         if timeout is None:
             return queue.get()
         try:
@@ -102,11 +249,79 @@ class MailboxComm(Communicator):
             raise TimeoutError from exc
 
     def announce_failure(self, message: str) -> None:
-        """Best-effort notification to all peers that this rank is dying."""
-        for dest in range(self._size):
-            if dest == self._rank:
+        """Best-effort notification to all peers that this rank is dying.
+
+        Addressed to every *physical* rank (not just the current epoch's
+        survivors): a rank that dies during recovery must still wake peers
+        that have not shrunk yet.
+        """
+        for dest in range(len(self._inboxes)):
+            if dest == self._my_physical:
                 continue
             try:
-                self._inboxes[dest].put((self._rank, FAILURE_TAG, message))
+                self._inboxes[dest].put((self._my_physical, FAILURE_TAG, message))
             except Exception:  # pragma: no cover - queue already torn down
                 pass
+
+    # -- recovery ----------------------------------------------------------
+
+    def announce_recovery(
+        self, blamed_phys: int, confirmed: bool, reason: str
+    ) -> None:
+        """Tell this epoch's peers the collective is abandoned for recovery.
+
+        Sent before entering survivor agreement so that peers blocked in an
+        application receive on a *live* rank abort immediately (their own
+        blocking peer may be the very rank running the agreement) instead of
+        burning their full receive timeout. Best-effort, like
+        :meth:`announce_failure`.
+        """
+        notice = (self._epoch, int(blamed_phys), bool(confirmed), str(reason))
+        for r in range(self._size):
+            if r == self._rank:
+                continue
+            try:
+                self._inboxes[self._physical[r]].put(
+                    (self._my_physical, RECOVERY_TAG, notice)
+                )
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
+
+    def shrink(self, survivors: Sequence[int]) -> "MailboxComm":
+        """Survivor-only view of this communicator, one epoch later.
+
+        ``survivors`` are ranks in *this* communicator's numbering; the new
+        communicator renumbers them ``0..len(survivors)-1`` in ascending
+        order (so every survivor derives identical numbering independently).
+        The view shares the physical inboxes, the pending store, the known-
+        dead set, and the traffic counters with its parent, but stamps all
+        wire tags with the next epoch — messages of the abandoned epoch can
+        never be confused with post-recovery traffic.
+        """
+        survivors = sorted(set(int(s) for s in survivors))
+        if not survivors:
+            raise CommError("cannot shrink to an empty communicator")
+        for s in survivors:
+            self._check_peer(s)
+        if self._rank not in survivors:
+            raise CommError(
+                f"rank {self._rank} cannot shrink to a survivor set it is "
+                f"not part of: {survivors}"
+            )
+        lost = [self._physical[r] for r in range(self._size)
+                if r not in survivors]
+        child = MailboxComm.__new__(MailboxComm)
+        Communicator.__init__(child, survivors.index(self._rank), len(survivors))
+        child._inboxes = self._inboxes
+        child._timeout = self._timeout
+        child._pending = self._pending
+        child.fault_injector = self.fault_injector
+        child._physical = [self._physical[r] for r in survivors]
+        child._my_physical = self._my_physical
+        child._epoch = self._epoch + 1
+        child._dead = self._dead
+        child._dead.update(lost)
+        child._failure_notices = self._failure_notices
+        child._recovery_notices = self._recovery_notices
+        child.traffic = self.traffic  # cumulative accounting across epochs
+        return child

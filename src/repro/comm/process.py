@@ -10,21 +10,32 @@ module top level) — the same constraint ``mpiexec`` imposes by construction.
 
 Failure handling: a rank that raises sends a failure sentinel to every peer
 (so blocked receives abort instead of hanging) and reports the traceback to
-the parent, which raises :class:`~repro.errors.RankFailedError`. A rank that
-dies without reporting (e.g. ``os._exit``/segfault) is detected by process
-exit code.
+the parent. A rank that dies without reporting (``os._exit``, SIGKILL,
+segfault, OOM) is detected by the parent's fast poll on the result queue —
+the parent then *fans out the failure sentinel on the dead rank's behalf*,
+so peers blocked mid-collective abort within the poll interval instead of
+hanging until their receive timeout. Failures either raise
+:class:`~repro.errors.RankFailedError` carrying the first failing rank's id
+and traceback, or with ``return_exceptions=True`` land in the failed ranks'
+result slots while survivors' results come back intact.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.comm.mailbox import MailboxComm
+from repro.comm.mailbox import FAILURE_TAG, MailboxComm
 from repro.errors import CommError, RankFailedError
 
 __all__ = ["run_spmd_processes"]
+
+#: Parent-side poll interval for the result queue. Bounds how long peers of
+#: a silently-dead rank stay blocked before the parent's sentinel fan-out
+#: wakes them.
+_POLL_INTERVAL = 0.25
 
 
 def _worker_main(
@@ -35,8 +46,14 @@ def _worker_main(
     fn: Callable[..., Any],
     args: Sequence[Any],
     timeout: Optional[float],
+    faults: Optional[Any],
 ) -> None:
-    comm = MailboxComm(rank, size, inboxes, timeout=timeout)
+    injector = None
+    if faults is not None:
+        from repro.comm.faults import FaultInjector
+
+        injector = FaultInjector(faults, rank)
+    comm = MailboxComm(rank, size, inboxes, timeout=timeout, injector=injector)
     try:
         value = fn(comm, *args)
     except BaseException as exc:  # noqa: BLE001
@@ -53,11 +70,14 @@ def run_spmd_processes(
     args: Sequence[Any] = (),
     timeout: Optional[float] = 300.0,
     start_method: str = "fork",
+    faults: Optional[Any] = None,
+    return_exceptions: bool = False,
 ) -> List[Any]:
     """Execute ``fn(comm, *args)`` on ``size`` process ranks.
 
     Returns per-rank return values in rank order. Return values must be
-    picklable.
+    picklable. ``timeout`` bounds both each rank's receives and how long
+    the parent waits between result arrivals.
     """
     ctx = mp.get_context(start_method)
     inboxes = [ctx.Queue() for _ in range(size)]
@@ -66,7 +86,7 @@ def run_spmd_processes(
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, size, inboxes, result_queue, fn, args, timeout),
+            args=(rank, size, inboxes, result_queue, fn, args, timeout, faults),
             name=f"spmd-rank-{rank}",
         )
         for rank in range(size)
@@ -75,26 +95,53 @@ def run_spmd_processes(
         p.start()
 
     results: List[Any] = [None] * size
-    errors: List[tuple[int, str, str]] = []
+    errors: List[tuple[int, str, str]] = []   # chronological arrival order
+    reported: set = set()
     received = 0
+    deadline = None if timeout is None else time.monotonic() + timeout
     try:
         while received < size:
             try:
-                kind, rank, payload, extra = result_queue.get(timeout=timeout)
+                kind, rank, payload, extra = result_queue.get(
+                    timeout=_POLL_INTERVAL
+                )
             except Exception as exc:
-                # A rank died without reporting — find it by exit code.
-                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
-                if dead:
-                    bad = dead[0]
-                    raise RankFailedError(
-                        f"SPMD process {bad.name} exited with code {bad.exitcode} "
-                        "without reporting a result",
-                        rank=int(bad.name.rsplit("-", 1)[-1]),
+                # Fast path for silent deaths: a nonzero exit code with no
+                # report means the rank can never report. Announce its
+                # failure to every inbox on its behalf so blocked peers
+                # abort now rather than at their receive timeout.
+                for p in procs:
+                    rank = int(p.name.rsplit("-", 1)[-1])
+                    if rank in reported or p.is_alive():
+                        continue
+                    if p.exitcode in (0, None):
+                        continue  # exit 0: its result is in flight
+                    message = (
+                        f"process for rank {rank} exited with code "
+                        f"{p.exitcode} without reporting"
+                    )
+                    for q in inboxes:
+                        try:
+                            q.put((rank, FAILURE_TAG, message))
+                        except Exception:  # pragma: no cover - torn down
+                            pass
+                    errors.append((rank, f"RankDied: {message}", ""))
+                    reported.add(rank)
+                    received += 1
+                    deadline = (
+                        None if timeout is None
+                        else time.monotonic() + timeout
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise CommError(
+                        f"timed out after {timeout}s waiting for SPMD results"
                     ) from exc
-                raise CommError(
-                    f"timed out after {timeout}s waiting for SPMD results"
-                ) from exc
+                continue
             received += 1
+            reported.add(rank)
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             if kind == "ok":
                 results[rank] = payload
             else:
@@ -113,8 +160,14 @@ def run_spmd_processes(
         result_queue.cancel_join_thread()
 
     if errors:
-        errors.sort(key=lambda e: e[0])
-        # Prefer the root-cause failure over cascaded RankFailedError reports.
+        if return_exceptions:
+            for rank, message, tb in errors:
+                results[rank] = RankFailedError(
+                    f"SPMD rank {rank} raised {message}\n{tb}", rank=rank
+                )
+            return results
+        # Prefer the chronologically-first root-cause failure over cascaded
+        # RankFailedError reports from peers that merely noticed the death.
         originals = [e for e in errors if not e[1].startswith("RankFailedError")]
         rank, message, tb = (originals or errors)[0]
         raise RankFailedError(f"SPMD rank {rank} raised {message}\n{tb}", rank=rank)

@@ -18,11 +18,18 @@ Executors
 ``"mpi"``      run under ``mpiexec`` with mpi4py installed; ``run_spmd`` is
                not used there — the program calls
                :func:`repro.comm.mpi.world_communicator` directly.
+
+Fault tolerance
+---------------
+``faults=`` installs a :class:`~repro.comm.faults.FaultPlan` (or its CLI
+spec string) for deterministic chaos testing; ``return_exceptions=True``
+returns failed ranks' exceptions in their result slots instead of raising,
+which is what lets a recovering program's survivors deliver their results.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.errors import CommError
 
@@ -41,6 +48,18 @@ def spmd_available_executors() -> List[str]:
     return names
 
 
+def _resolve_plan(faults: Union[None, str, Any]) -> Optional[Any]:
+    if faults is None:
+        return None
+    from repro.comm.faults import FaultPlan
+
+    if isinstance(faults, str):
+        return FaultPlan.parse(faults)
+    if not isinstance(faults, FaultPlan):
+        raise CommError(f"faults must be a FaultPlan or spec string, got {faults!r}")
+    return faults
+
+
 def run_spmd(
     fn: Callable[..., Any],
     size: int,
@@ -48,6 +67,8 @@ def run_spmd(
     executor: str = "thread",
     args: Sequence[Any] = (),
     timeout: Optional[float] = 120.0,
+    faults: Union[None, str, Any] = None,
+    return_exceptions: bool = False,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
 
@@ -64,23 +85,51 @@ def run_spmd(
         Extra positional arguments passed to every rank.
     timeout:
         Per-receive timeout in seconds (deadlock detector). ``None`` disables.
+        Honored by every collective — the library topologies (linear, ring,
+        tree) are all built on the communicator's timed receives.
+    faults:
+        Optional :class:`~repro.comm.faults.FaultPlan` (or parseable spec
+        string) installed on every rank's communicator.
+    return_exceptions:
+        When ``True``, a failed rank contributes its exception (instead of
+        aborting the whole run) and surviving ranks' results are returned.
+        When ``False`` (default) any failure raises
+        :class:`~repro.errors.RankFailedError` carrying the *first* failing
+        rank's id and traceback, chained from the original exception.
     """
     if size < 1:
         raise CommError(f"size must be >= 1, got {size}")
+    plan = _resolve_plan(faults)
     if executor == "serial":
         if size != 1:
             raise CommError("serial executor only supports size == 1")
         from repro.comm.serial import SerialComm
 
-        return [fn(SerialComm(), *args)]
+        comm = SerialComm()
+        if plan is not None:
+            from repro.comm.faults import FaultInjector
+
+            comm.fault_injector = FaultInjector(plan, 0)
+        try:
+            return [fn(comm, *args)]
+        except Exception as exc:
+            if return_exceptions:
+                return [exc]
+            raise
     if executor == "thread":
         from repro.comm.threaded import run_spmd_threads
 
-        return run_spmd_threads(fn, size, args=args, timeout=timeout)
+        return run_spmd_threads(
+            fn, size, args=args, timeout=timeout, faults=plan,
+            return_exceptions=return_exceptions,
+        )
     if executor == "process":
         from repro.comm.process import run_spmd_processes
 
-        return run_spmd_processes(fn, size, args=args, timeout=timeout)
+        return run_spmd_processes(
+            fn, size, args=args, timeout=timeout, faults=plan,
+            return_exceptions=return_exceptions,
+        )
     raise CommError(
         f"unknown executor {executor!r}; available: {spmd_available_executors()}"
     )

@@ -7,8 +7,11 @@ cheap to spin up, which makes it the default for tests and for the
 single-node benchmarks.
 
 Exceptions raised by any rank are captured, broadcast as failure sentinels
-so blocked peers wake up, and re-raised in the caller as
-:class:`~repro.errors.RankFailedError` (with the original as ``__cause__``).
+so blocked peers wake up, and either re-raised in the caller as
+:class:`~repro.errors.RankFailedError` — carrying the *chronologically
+first* failing rank's id and traceback, chained from the original
+exception — or, with ``return_exceptions=True``, returned in the failed
+ranks' result slots so surviving ranks still deliver.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ def run_spmd_threads(
     size: int,
     args: Sequence[Any] = (),
     timeout: Optional[float] = 120.0,
+    faults: Optional[Any] = None,
+    return_exceptions: bool = False,
 ) -> List[Any]:
     """Execute ``fn(comm, *args)`` on ``size`` thread ranks.
 
@@ -36,11 +41,19 @@ def run_spmd_threads(
     """
     inboxes = [queue.SimpleQueue() for _ in range(size)]
     results: List[Any] = [None] * size
+    # Chronological failure log: the first entry is the root cause, later
+    # ones are usually cascaded RankFailedErrors from peers waking up.
     failures: List[tuple[int, BaseException, str]] = []
     lock = threading.Lock()
 
     def worker(rank: int) -> None:
-        comm = MailboxComm(rank, size, inboxes, timeout=timeout)
+        injector = None
+        if faults is not None:
+            from repro.comm.faults import FaultInjector
+
+            injector = FaultInjector(faults, rank)
+        comm = MailboxComm(rank, size, inboxes, timeout=timeout,
+                           injector=injector)
         try:
             results[rank] = fn(comm, *args)
         except BaseException as exc:  # noqa: BLE001 - must not kill the pool silently
@@ -49,7 +62,8 @@ def run_spmd_threads(
             comm.announce_failure(f"{type(exc).__name__}: {exc}")
 
     threads = [
-        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}",
+                         daemon=True)
         for rank in range(size)
     ]
     for t in threads:
@@ -58,14 +72,14 @@ def run_spmd_threads(
         t.join()
 
     if failures:
-        failures.sort(key=lambda f: f[0])
-        rank, exc, tb = failures[0]
-        if isinstance(exc, RankFailedError):
-            # A secondary failure caused by another rank dying; prefer the
-            # original failure if we captured it.
-            originals = [f for f in failures if not isinstance(f[1], RankFailedError)]
-            if originals:
-                rank, exc, tb = originals[0]
+        if return_exceptions:
+            for rank, exc, _tb in failures:
+                results[rank] = exc
+            return results
+        # Prefer the chronologically-first *original* failure: cascaded
+        # RankFailedErrors only say "someone else died first".
+        originals = [f for f in failures if not isinstance(f[1], RankFailedError)]
+        rank, exc, tb = (originals or failures)[0]
         raise RankFailedError(
             f"SPMD rank {rank} raised {type(exc).__name__}: {exc}\n{tb}", rank=rank
         ) from exc

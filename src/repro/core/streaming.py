@@ -17,7 +17,7 @@ labels new points with the current model without storing them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -151,6 +151,43 @@ class KeyCounter:
         counts = np.fromiter(self._counts.values(), dtype=np.int64, count=len(self._counts))
         return keys.copy(), counts
 
+    def copy(self) -> "KeyCounter":
+        """Independent deep copy (cheap: one dict copy, no array work)."""
+        out = KeyCounter(self.capacity)
+        out._counts = dict(self._counts)
+        out.evicted_keys = self.evicted_keys
+        out.evicted_points = self.evicted_points
+        out._width = self._width
+        return out
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable plain representation (see :meth:`from_state_dict`)."""
+        keys, counts = self.to_arrays()
+        return {
+            "capacity": self.capacity,
+            "width": self._width,
+            "keys": keys,
+            "counts": counts,
+            "evicted_keys": self.evicted_keys,
+            "evicted_points": self.evicted_points,
+        }
+
+    @classmethod
+    def from_state_dict(cls, d: Dict[str, Any]) -> "KeyCounter":
+        out = cls(int(d["capacity"]))
+        out._width = None if d["width"] is None else int(d["width"])
+        keys = np.ascontiguousarray(d["keys"], dtype=np.uint8)
+        counts = np.asarray(d["counts"], dtype=np.int64)
+        raw = keys.tobytes()
+        width = keys.shape[1] if keys.size else 0
+        out._counts = {
+            raw[i * width : (i + 1) * width]: int(counts[i])
+            for i in range(keys.shape[0])
+        }
+        out.evicted_keys = int(d["evicted_keys"])
+        out.evicted_points = int(d["evicted_points"])
+        return out
+
 
 def _projected_bounds(
     feature_range, matrix, n_features: int, cover_sigmas: float = 2.0
@@ -189,6 +226,18 @@ class _ProjectionState:
     ``hist_delta``/``keys_delta`` hold *only* the increments since the last
     merge — the delta a distributed consolidation puts on the wire. A rank
     that never consolidates simply carries a delta equal to its history.
+
+    ``hist_local``/``keys_local`` accumulate the *merged portion of this
+    rank's own history*: every successful merge folds the just-shipped
+    delta into them (:meth:`reset_deltas`), so at any moment
+
+        own full history = hist_local + hist_delta  (resp. keys).
+
+    This is the per-rank ledger fault recovery rebuilds from: after a peer
+    dies, survivors discard the merged global view (which contains the
+    dead rank's mass) and re-merge their own ledgers — exact survivor-only
+    mass without ever re-reading a frame. The fold happens off the hot
+    path (at merge time), so ``partial_fit`` pays nothing for it.
     """
 
     def __init__(
@@ -207,15 +256,48 @@ class _ProjectionState:
         self.hist_delta = {
             d: np.zeros((n_dims, 1 << d), dtype=np.int64) for d in self.depths
         }
+        self.hist_local = {
+            d: np.zeros((n_dims, 1 << d), dtype=np.int64) for d in self.depths
+        }
         self.keys = KeyCounter(key_capacity)
         self.keys_delta = KeyCounter(key_capacity)
+        self.keys_local = KeyCounter(key_capacity)
         self.n_points = 0
 
     def reset_deltas(self) -> None:
-        """Zero the per-round accumulators after their content was merged."""
+        """Fold the merged deltas into the own-history ledger, then zero them."""
         for d in self.depths:
+            self.hist_local[d] += self.hist_delta[d]
             self.hist_delta[d][...] = 0
+        dk = self.keys_delta.state_dict()
+        self.keys_local.merge_arrays(
+            dk["keys"], dk["counts"],
+            evicted_keys=dk["evicted_keys"], evicted_points=dk["evicted_points"],
+        )
         self.keys_delta = KeyCounter(self.key_capacity)
+
+    def rebuild_from_local(self) -> None:
+        """Reset to "nothing merged yet": state := own history, all of it
+        pending as a delta.
+
+        The recovery path calls this on every survivor before re-merging
+        on the shrunken communicator; the subsequent consolidation then
+        reconstructs a global view containing exactly the survivors' mass.
+        """
+        for d in self.depths:
+            own = self.hist_local[d] + self.hist_delta[d]
+            self.hist[d] = own
+            self.hist_delta[d] = own.copy()
+            self.hist_local[d] = np.zeros_like(own)
+        own_keys = self.keys_local
+        dk = self.keys_delta.state_dict()
+        own_keys.merge_arrays(
+            dk["keys"], dk["counts"],
+            evicted_keys=dk["evicted_keys"], evicted_points=dk["evicted_points"],
+        )
+        self.keys = own_keys
+        self.keys_delta = own_keys.copy()
+        self.keys_local = KeyCounter(self.key_capacity)
 
 
 class StreamingKeyBin2:
@@ -294,6 +376,12 @@ class StreamingKeyBin2:
         # Points accumulated locally since the last distributed merge; the
         # delta counterpart of n_seen_ (see insitu.distributed).
         self.n_seen_delta_ = 0
+        # Points THIS rank has ever ingested (never touched by merges); the
+        # frame ledger fault recovery and lost-mass accounting rely on.
+        self.n_own_ = 0
+        # Meta dict carried by the checkpoint this instance was restored
+        # from (None when the instance was constructed normally).
+        self.restored_meta_: Optional[Dict[str, Any]] = None
 
     # -- accumulation -------------------------------------------------------
 
@@ -367,6 +455,7 @@ class StreamingKeyBin2:
                 state.n_points += x.shape[0]
         self.n_seen_ += x.shape[0]
         self.n_seen_delta_ += x.shape[0]
+        self.n_own_ += x.shape[0]
         reg = default_registry()
         if reg.enabled:
             reg.counter(
@@ -465,6 +554,183 @@ class StreamingKeyBin2:
                 elif fallback is None:
                     fallback = model
         return best_model, fallback
+
+    # -- checkpointing -------------------------------------------------------
+
+    _CKPT_FORMAT = "keybin2-stream-state"
+    _CKPT_VERSION = 1
+    _CKPT_MAGIC = b"KB2SCKPT"
+
+    _CONFIG_FIELDS = (
+        "n_projections", "n_components", "candidate_depths", "projection",
+        "projection_factor", "range_expand", "feature_range", "collapse",
+        "uniform_threshold", "min_support_bins", "min_cut_prominence",
+        "key_capacity",
+    )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete accumulated state as plain python + numpy.
+
+        Everything ``partial_fit``/``refresh``/``predict`` depend on is
+        captured: configuration, per-projection matrices and ranges (the
+        entire consumption of the seed's RNG stream), histograms, deltas,
+        the own-history ledgers, and key-counter tables. The fitted
+        ``model_`` is deliberately excluded — ``refresh()`` rebuilds it
+        deterministically from the histograms.
+        """
+        config = {name: getattr(self, name) for name in self._CONFIG_FIELDS}
+        # The seed is provenance only (matrices/ranges are stored), but a
+        # plain seed is kept so a restored instance reports its origin.
+        config["seed"] = self.seed if isinstance(self.seed, (int, type(None))) else None
+        states = None
+        if self._states is not None:
+            states = []
+            for st in self._states:
+                states.append({
+                    "matrix": st.matrix,
+                    "r_min": st.space.r_min,
+                    "r_max": st.space.r_max,
+                    "depths": st.depths,
+                    "key_capacity": st.key_capacity,
+                    "hist": {d: st.hist[d] for d in st.depths},
+                    "hist_delta": {d: st.hist_delta[d] for d in st.depths},
+                    "hist_local": {d: st.hist_local[d] for d in st.depths},
+                    "keys": st.keys.state_dict(),
+                    "keys_delta": st.keys_delta.state_dict(),
+                    "keys_local": st.keys_local.state_dict(),
+                    "n_points": st.n_points,
+                })
+        return {
+            "format": self._CKPT_FORMAT,
+            "version": self._CKPT_VERSION,
+            "config": config,
+            "n_seen": self.n_seen_,
+            "n_seen_delta": self.n_seen_delta_,
+            "n_own": self.n_own_,
+            "n_features_in": getattr(self, "n_features_in_", None),
+            "states": states,
+        }
+
+    def save_state(self, path, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically checkpoint the streaming state to ``path``.
+
+        Crash-consistent like :meth:`KeyBin2Model.save`: the payload goes
+        to a temporary file in the target directory, is fsynced, then
+        ``os.replace``d into place — a write interrupted at any point
+        leaves the previous checkpoint untouched. The payload carries a
+        magic header, a format version, and a SHA-256 digest, so
+        :meth:`load_state` detects truncation or corruption instead of
+        deserializing garbage. ``meta`` is an optional plain dict stored
+        verbatim (round counters, chunk cursors, …) and surfaced as
+        ``restored_meta_`` on load.
+        """
+        import hashlib
+        import os
+        import pickle
+        import struct
+        import tempfile
+        from pathlib import Path
+
+        payload = dict(self.state_dict())
+        payload["meta"] = dict(meta) if meta else {}
+        blob = pickle.dumps(payload, protocol=4)
+        digest = hashlib.sha256(blob).digest()
+        header = (
+            self._CKPT_MAGIC
+            + struct.pack("<I", self._CKPT_VERSION)
+            + digest
+            + struct.pack("<Q", len(blob))
+        )
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header)
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load_state(cls, path, engine: Optional[KernelEngine] = None
+                   ) -> "StreamingKeyBin2":
+        """Restore a checkpoint written by :meth:`save_state`.
+
+        The restored instance is bit-identical in behavior: the next
+        ``partial_fit`` produces the same histograms, key counters and —
+        after ``refresh()`` — the same labels as the uninterrupted run.
+        Raises :class:`~repro.errors.CheckpointError` on a missing,
+        truncated, corrupt, or future-versioned file.
+        """
+        import hashlib
+        import pickle
+        import struct
+        from pathlib import Path
+
+        from repro.errors import CheckpointError
+
+        head_len = len(cls._CKPT_MAGIC) + 4 + 32 + 8
+        try:
+            raw = Path(path).read_bytes()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        if len(raw) < head_len or not raw.startswith(cls._CKPT_MAGIC):
+            raise CheckpointError(f"{path} is not a streaming checkpoint")
+        off = len(cls._CKPT_MAGIC)
+        (version,) = struct.unpack_from("<I", raw, off)
+        if version > cls._CKPT_VERSION:
+            raise CheckpointError(
+                f"{path} has checkpoint version {version}; this build reads "
+                f"<= {cls._CKPT_VERSION}"
+            )
+        digest = raw[off + 4 : off + 36]
+        (blob_len,) = struct.unpack_from("<Q", raw, off + 36)
+        blob = raw[head_len : head_len + blob_len]
+        if len(blob) != blob_len or hashlib.sha256(blob).digest() != digest:
+            raise CheckpointError(
+                f"{path} is truncated or corrupt (integrity check failed)"
+            )
+        payload = pickle.loads(blob)
+        if payload.get("format") != cls._CKPT_FORMAT:
+            raise CheckpointError(f"{path} carries unknown format "
+                                  f"{payload.get('format')!r}")
+        config = dict(payload["config"])
+        seed = config.pop("seed", None)
+        skb = cls(seed=seed, engine=engine, **config)
+        skb.n_seen_ = int(payload["n_seen"])
+        skb.n_seen_delta_ = int(payload["n_seen_delta"])
+        skb.n_own_ = int(payload["n_own"])
+        if payload["n_features_in"] is not None:
+            skb.n_features_in_ = int(payload["n_features_in"])
+        if payload["states"] is not None:
+            states: List[_ProjectionState] = []
+            for sd in payload["states"]:
+                st = _ProjectionState(
+                    sd["matrix"],
+                    SpaceRange(sd["r_min"], sd["r_max"]),
+                    sd["depths"],
+                    sd["key_capacity"],
+                )
+                for d in st.depths:
+                    st.hist[d] = np.asarray(sd["hist"][d], dtype=np.int64)
+                    st.hist_delta[d] = np.asarray(sd["hist_delta"][d], dtype=np.int64)
+                    st.hist_local[d] = np.asarray(sd["hist_local"][d], dtype=np.int64)
+                st.keys = KeyCounter.from_state_dict(sd["keys"])
+                st.keys_delta = KeyCounter.from_state_dict(sd["keys_delta"])
+                st.keys_local = KeyCounter.from_state_dict(sd["keys_local"])
+                st.n_points = int(sd["n_points"])
+                states.append(st)
+            skb._states = states
+        skb.restored_meta_ = dict(payload.get("meta", {}))
+        return skb
 
     # -- inference -----------------------------------------------------------------
 

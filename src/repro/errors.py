@@ -14,6 +14,8 @@ __all__ = [
     "NotFittedError",
     "CommError",
     "RankFailedError",
+    "InjectedFault",
+    "CheckpointError",
     "ConvergenceError",
     "ServeError",
     "QueueFullError",
@@ -43,11 +45,36 @@ class RankFailedError(CommError):
     ----------
     rank:
         The rank that failed, or ``-1`` when unknown.
+    confirmed:
+        ``True`` when the peer itself announced its death (failure
+        sentinel) or the executor observed its process exit; ``False``
+        when the failure is inferred from a receive timeout, in which case
+        the peer may merely be slow. Recovery treats unconfirmed failures
+        as suspicions to be re-checked during survivor agreement.
     """
 
-    def __init__(self, message: str, rank: int = -1):
+    def __init__(self, message: str, rank: int = -1, confirmed: bool = True):
         super().__init__(message)
         self.rank = rank
+        self.confirmed = confirmed
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """Raised by the fault-injection harness to simulate a rank crash.
+
+    Only ever raised when a :class:`repro.comm.faults.FaultPlan` is
+    explicitly installed, so seeing it outside a chaos test means the
+    plan leaked into a production run.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Raised when a streaming-state checkpoint is missing or corrupt.
+
+    A truncated or bit-flipped checkpoint file fails its integrity check
+    and raises this instead of deserializing garbage; callers (the
+    checkpoint manager) fall back to the previous intact checkpoint.
+    """
 
 
 class ConvergenceError(ReproError, RuntimeError):

@@ -1,0 +1,130 @@
+"""Per-rank checkpoint management for distributed in-situ runs.
+
+A :class:`CheckpointManager` owns one rank's slice of a shared checkpoint
+directory::
+
+    <root>/
+        rank00000/ckpt-00000004.kb2
+        rank00000/ckpt-00000008.kb2
+        rank00001/ckpt-00000004.kb2
+        ...
+
+Checkpoints are written by :meth:`StreamingKeyBin2.save_state` — atomic
+tmp-then-rename with an integrity digest — immediately *after* a
+successful consolidation, so a given round id names a globally consistent
+barrier: every rank's ``ckpt-<round>`` holds the same merged model state
+plus that rank's own-history ledger. Restart therefore means: every rank
+loads the newest round id *common to all ranks*
+(:func:`common_checkpoint_round`), and resumes feeding frames from the
+chunk cursor stored in the checkpoint meta.
+
+Retention keeps the last ``keep`` rounds per rank; a corrupt or truncated
+newest file (the crash may have raced the writer) silently falls back to
+the previous intact one.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.streaming import StreamingKeyBin2
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointManager", "common_checkpoint_round"]
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})\.kb2$")
+
+
+class CheckpointManager:
+    """Atomic, versioned, per-rank streaming-state checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Shared checkpoint directory (all ranks pass the same path).
+    rank:
+        This rank's *physical* rank — stable across communicator shrinks,
+        so a recovered run keeps appending to the same per-rank history.
+    keep:
+        Checkpoint rounds retained per rank (older ones are pruned after
+        each successful save). At least 2, so one corrupt newest file
+        always leaves an intact predecessor.
+    """
+
+    def __init__(self, root, rank: int, keep: int = 3):
+        if keep < 2:
+            raise CheckpointError("keep must be >= 2 (corruption fallback)")
+        self.root = Path(root)
+        self.rank = int(rank)
+        self.keep = int(keep)
+        self.dir = self.root / f"rank{self.rank:05d}"
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, round_idx: int) -> Path:
+        return self.dir / f"ckpt-{round_idx:08d}.kb2"
+
+    def rounds(self) -> List[int]:
+        """Available checkpoint round ids, newest first."""
+        out = []
+        for entry in self.dir.iterdir():
+            m = _CKPT_RE.match(entry.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out, reverse=True)
+
+    def save(
+        self,
+        skb: StreamingKeyBin2,
+        round_idx: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Checkpoint ``skb`` as round ``round_idx`` and prune old rounds."""
+        full_meta = {"round": int(round_idx), "rank": self.rank}
+        if meta:
+            full_meta.update(meta)
+        path = self.path_for(round_idx)
+        skb.save_state(path, meta=full_meta)
+        for old in self.rounds()[self.keep:]:
+            try:
+                self.path_for(old).unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        return path
+
+    def load(self, round_idx: int) -> StreamingKeyBin2:
+        """Load one specific round (raises ``CheckpointError`` if bad)."""
+        return StreamingKeyBin2.load_state(self.path_for(round_idx))
+
+    def load_latest(self) -> Optional[Tuple[StreamingKeyBin2, int]]:
+        """Newest intact checkpoint as ``(state, round)``, or ``None``.
+
+        Walks rounds newest-first, skipping corrupt/truncated files — the
+        atomic writer makes those rare (an interrupted write never replaces
+        the target), but a torn disk or partial copy still degrades to the
+        previous barrier instead of failing the restart.
+        """
+        for round_idx in self.rounds():
+            try:
+                return self.load(round_idx), round_idx
+            except CheckpointError:
+                continue
+        return None
+
+
+def common_checkpoint_round(root, n_ranks: int) -> Optional[int]:
+    """Newest round id for which *every* rank has a checkpoint file.
+
+    Restart resumes from a barrier all ranks can reach; a rank that died
+    mid-save leaves the others holding a newer round that must be ignored.
+    Returns ``None`` when no common round exists (fresh start).
+    """
+    common: Optional[set] = None
+    for rank in range(n_ranks):
+        mgr = CheckpointManager(root, rank)
+        rounds = set(mgr.rounds())
+        common = rounds if common is None else (common & rounds)
+        if not common:
+            return None
+    return max(common) if common else None

@@ -27,11 +27,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.comm.base import Communicator, ReduceOp
+from repro.comm.faults import maybe_inject
+from repro.comm.mailbox import MailboxComm
+from repro.comm.membership import agree_on_survivors
 from repro.comm.ring import ring_allreduce
 from repro.comm.spmd import run_spmd
 from repro.comm.traffic import payload_nbytes
 from repro.core.streaming import StreamingKeyBin2
-from repro.errors import ValidationError
+from repro.errors import RankFailedError, ValidationError
+from repro.insitu.checkpoint import CheckpointManager, common_checkpoint_round
 from repro.obs import default_registry, trace
 from repro.insitu.fingerprint import fingerprint_change_points, window_fingerprints
 from repro.metrics.external import normalized_mutual_info
@@ -40,7 +44,9 @@ from repro.proteins.trajectory import Trajectory
 
 __all__ = [
     "DistributedInSituResult",
+    "RecoveryContext",
     "consolidate_streaming_state",
+    "resilient_consolidate",
     "distributed_insitu_spmd",
     "run_distributed_insitu",
 ]
@@ -56,6 +62,10 @@ class DistributedInSituResult:
     n_clusters: int                   # global cluster count (same all ranks)
     phase_nmi: Optional[float]
     traffic: Dict[str, int] = field(default_factory=dict)
+    recoveries: int = 0               # rank-failure recoveries survived
+    frames_lost: int = 0              # lost ranks' merged frames dropped
+    lost_ranks: Tuple[int, ...] = ()  # physical ranks lost along the way
+    resumed_round: Optional[int] = None  # checkpoint round this run resumed from
 
 
 def consolidate_streaming_state(
@@ -177,6 +187,153 @@ def consolidate_streaming_state(
         ).labels(rank=rank).inc(evictions_after - evictions_before)
 
 
+@dataclass
+class RecoveryContext:
+    """Mutable fault-tolerance state threaded through a resilient run.
+
+    ``comm`` is replaced by its shrunken successor on every recovery, so
+    callers must always go through the context (never cache the
+    communicator) once recovery is enabled.
+    """
+
+    comm: Communicator
+    recover: bool = False
+    max_recoveries: Optional[int] = None   # None = bounded only by size-1
+    recoveries: int = 0
+    frames_lost: int = 0
+    lost_ranks: List[int] = field(default_factory=list)
+
+    @property
+    def can_recover(self) -> bool:
+        if not self.recover or not isinstance(self.comm, MailboxComm):
+            return False
+        if self.comm.size <= 1:
+            return False  # nobody left to agree with
+        if self.max_recoveries is not None and self.recoveries >= self.max_recoveries:
+            return False
+        return True
+
+
+def _physical_rank(comm: Communicator) -> int:
+    return comm.physical_rank if isinstance(comm, MailboxComm) else comm.rank
+
+
+def _recover_from_failure(
+    ctx: RecoveryContext, skb: StreamingKeyBin2, exc: RankFailedError
+) -> None:
+    """One recovery round: agree on survivors, shrink, roll back, re-account.
+
+    The roll-back is exact without touching disk: each rank's own-history
+    ledger (``hist_local``/``keys_local``/``n_own_``) is the portion of its
+    *own* frames already merged, so discarding the merged global view and
+    re-seeding the deltas from the ledger
+    (:meth:`~repro.core.streaming._ProjectionState.rebuild_from_local`)
+    leaves every survivor holding exactly its own full history as one big
+    unmerged delta. The retried consolidation on the shrunken communicator
+    then reproduces, to the frame, the state a run over only the surviving
+    ranks' trajectories would have built — the dead rank's already-merged
+    mass vanishes along with the discarded global view.
+    """
+    comm = ctx.comm
+    assert isinstance(comm, MailboxComm)
+    # The blamed rank: confirmed deaths (failure sentinel seen) are never
+    # probed again; an unconfirmed timeout stays a mere suspect — the peer
+    # may be slow, and the agreement protocol lets it rejoin.
+    suspects: List[int] = []
+    confirmed: List[int] = []
+    blamed_phys = getattr(exc, "rank", None)
+    phys_to_cur = {comm._physical[r]: r for r in range(comm.size)}
+    if blamed_phys in phys_to_cur and phys_to_cur[blamed_phys] != comm.rank:
+        target = confirmed if getattr(exc, "confirmed", False) else suspects
+        target.append(phys_to_cur[blamed_phys])
+    # Pre-rebuild accounting: the merged-global frame count and this rank's
+    # merged share of it. Their difference across survivors is the mass
+    # that dies with the lost ranks.
+    merged_global = skb.n_seen_ - skb.n_seen_delta_
+    merged_own = skb.n_own_ - skb.n_seen_delta_
+    with trace.span("recover"):
+        # Wake peers blocked on live ranks (e.g. waiting for the root's
+        # broadcast) so they join the agreement now, not at their timeout.
+        comm.announce_recovery(
+            -1 if blamed_phys is None else int(blamed_phys),
+            bool(getattr(exc, "confirmed", False)),
+            str(exc),
+        )
+        survivors = agree_on_survivors(
+            comm, suspects=suspects, confirmed_dead=confirmed
+        )
+        lost_phys = [
+            comm._physical[r] for r in range(comm.size) if r not in survivors
+        ]
+        new_comm = comm.shrink(survivors)
+        ctx.comm = new_comm
+        ctx.recoveries += 1
+        ctx.lost_ranks.extend(lost_phys)
+        # Aborted collectives leave n_seen_ untouched (the seen allreduce is
+        # the last step of a consolidation), so survivors agree on the
+        # merged-global count; MAX is belt-and-braces for mid-round deaths.
+        global_seen = int(
+            new_comm.allreduce(
+                np.array([merged_global], dtype=np.int64), op=ReduceOp.MAX
+            )[0]
+        )
+        survivor_seen = int(
+            new_comm.allreduce(
+                np.array([merged_own], dtype=np.int64), op=ReduceOp.SUM
+            )[0]
+        )
+        lost = max(0, global_seen - survivor_seen)
+        ctx.frames_lost += lost
+        assert skb._states is not None
+        for st in skb._states:
+            st.rebuild_from_local()
+        skb.n_seen_ = skb.n_own_
+        skb.n_seen_delta_ = skb.n_own_
+        for st in skb._states:
+            st.n_points = skb.n_own_
+    reg = default_registry()
+    if reg.enabled:
+        r = str(new_comm.physical_rank)
+        reg.counter(
+            "insitu_recoveries_total",
+            "Rank-failure recoveries this rank survived (agreement + "
+            "communicator shrink + ledger rollback + re-merge).",
+            ("rank",),
+        ).labels(rank=r).inc()
+        reg.counter(
+            "insitu_frames_lost_total",
+            "Frames of already-merged mass dropped with lost ranks, as "
+            "observed by this surviving rank.",
+            ("rank",),
+        ).labels(rank=r).inc(lost)
+
+
+def resilient_consolidate(
+    ctx: RecoveryContext,
+    skb: StreamingKeyBin2,
+    reduce_algo: str = "linear",
+) -> None:
+    """Consolidate via ``ctx.comm``, recovering from rank failures.
+
+    On :class:`~repro.errors.RankFailedError` the survivors agree on a new
+    membership, shrink the communicator, roll the streaming state back to
+    each rank's own-history ledger, and retry — in a loop, so a second
+    failure during the retried consolidation triggers another recovery.
+    A failure during the recovery protocol itself (agreement
+    non-convergence or a death inside the re-accounting collectives) fails
+    fast: at that point a consistent shrink cannot be guaranteed and a
+    clean restart from checkpoints beats a split brain.
+    """
+    while True:
+        try:
+            consolidate_streaming_state(ctx.comm, skb, reduce_algo=reduce_algo)
+            return
+        except RankFailedError as exc:
+            if not ctx.can_recover:
+                raise
+            _recover_from_failure(ctx, skb, exc)
+
+
 def distributed_insitu_spmd(
     comm: Communicator,
     trajectory: Trajectory,
@@ -185,6 +342,11 @@ def distributed_insitu_spmd(
     fingerprint_window: int = 50,
     seed: int = 0,
     reduce_algo: str = "linear",
+    recover: bool = False,
+    max_recoveries: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    checkpoint_keep: int = 3,
     **keybin_params: Any,
 ) -> DistributedInSituResult:
     """SPMD in-situ analysis: each rank passes its *own* trajectory.
@@ -194,9 +356,21 @@ def distributed_insitu_spmd(
     — the only communication, sized O(histograms + new occupied cells).
     ``reduce_algo`` selects the histogram reduction topology (``"linear"``
     or ``"ring"``; see :func:`consolidate_streaming_state`).
+
+    Fault tolerance:
+
+    * ``recover=True`` turns rank failures during consolidation into
+      survivor recoveries (see :func:`resilient_consolidate`) instead of
+      run-wide aborts; ``max_recoveries`` caps how many.
+    * ``checkpoint_dir`` enables per-rank checkpoints after every
+      ``checkpoint_every``-th successful consolidation, and *resume*: when
+      the directory already holds a checkpoint round common to all ranks,
+      every rank restores it and skips the chunks it covers.
     """
     if chunk_size < 1 or consolidate_every < 1:
         raise ValidationError("chunk_size and consolidate_every must be >= 1")
+    if checkpoint_every < 1:
+        raise ValidationError("checkpoint_every must be >= 1")
     n_frames = trajectory.n_frames
     n_chunks_local = -(-n_frames // chunk_size)
     # Ranks may hold different trajectory lengths; every rank must join
@@ -223,18 +397,69 @@ def distributed_insitu_spmd(
     params.update(keybin_params)
     skb = StreamingKeyBin2(seed=seed, **params)
 
+    # Checkpointing keys on the *physical* rank so a recovered (shrunk)
+    # run keeps appending to the same per-rank history, and a restarted
+    # run finds it again.
+    ckpt_mgr: Optional[CheckpointManager] = None
+    resumed_round: Optional[int] = None
+    start_chunk = 0
+    consolidation_round = 0
+    if checkpoint_dir is not None:
+        ckpt_mgr = CheckpointManager(
+            checkpoint_dir, _physical_rank(comm), keep=checkpoint_keep
+        )
+        # Resume from the newest round every rank holds. The directory scan
+        # is deterministic on a shared filesystem, but the MIN allreduce
+        # makes the choice robust to ranks racing each other's writes.
+        local_common = common_checkpoint_round(checkpoint_dir, comm.size)
+        agreed_round = int(
+            comm.allreduce(
+                np.array(
+                    [-1 if local_common is None else local_common],
+                    dtype=np.int64,
+                ),
+                op=ReduceOp.MIN,
+            )[0]
+        )
+        if agreed_round >= 0:
+            skb = ckpt_mgr.load(agreed_round)
+            meta = skb.restored_meta_ or {}
+            start_chunk = int(meta.get("chunks_done", 0))
+            consolidation_round = agreed_round
+            resumed_round = agreed_round
+
+    rctx = RecoveryContext(
+        comm=comm, recover=recover, max_recoveries=max_recoveries
+    )
     # Executor ranks run on worker threads, which start from an empty
     # trace context; re-root so every span below attributes to its rank
     # (insitu/rank2/partial_fit/project, insitu/rank2/consolidate/...).
     with trace.propagate(("insitu", f"rank{comm.rank}")):
-        chunk_idx = 0
-        for start in range(0, n_chunks_global * chunk_size, chunk_size):
+        chunk_idx = start_chunk
+        for start in range(
+            start_chunk * chunk_size, n_chunks_global * chunk_size, chunk_size
+        ):
             if start < n_frames:
                 stop = min(start + chunk_size, n_frames)
                 skb.partial_fit(features[start:stop])
             chunk_idx += 1
             if chunk_idx % consolidate_every == 0 or chunk_idx == n_chunks_global:
-                consolidate_streaming_state(comm, skb, reduce_algo=reduce_algo)
+                consolidation_round += 1
+                maybe_inject(rctx.comm, "consolidation")
+                resilient_consolidate(rctx, skb, reduce_algo=reduce_algo)
+                if (
+                    ckpt_mgr is not None
+                    and consolidation_round % checkpoint_every == 0
+                ):
+                    ckpt_mgr.save(
+                        skb,
+                        consolidation_round,
+                        meta={
+                            "chunks_done": chunk_idx,
+                            "n_ranks": rctx.comm.size,
+                            "epoch": getattr(rctx.comm, "epoch", 0),
+                        },
+                    )
 
         skb.refresh()
         with trace.span("label_frames"):
@@ -254,16 +479,22 @@ def distributed_insitu_spmd(
         fingerprint_changes=changes,
         n_clusters=n_clusters,
         phase_nmi=phase_nmi,
-        traffic=comm.traffic.snapshot(),
+        traffic=rctx.comm.traffic.snapshot(),
+        recoveries=rctx.recoveries,
+        frames_lost=rctx.frames_lost,
+        lost_ranks=tuple(rctx.lost_ranks),
+        resumed_round=resumed_round,
     )
 
 
 def _entry(comm, trajectories, chunk_size, consolidate_every, seed, reduce_algo,
-           params):
+           recover, max_recoveries, checkpoint_dir, checkpoint_every, params):
     res = distributed_insitu_spmd(
         comm, trajectories[comm.rank], chunk_size=chunk_size,
         consolidate_every=consolidate_every, seed=seed,
-        reduce_algo=reduce_algo, **params,
+        reduce_algo=reduce_algo, recover=recover,
+        max_recoveries=max_recoveries, checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every, **params,
     )
     return res
 
@@ -276,9 +507,22 @@ def run_distributed_insitu(
     executor: str = "thread",
     timeout: Optional[float] = 600.0,
     reduce_algo: str = "linear",
+    recover: bool = False,
+    max_recoveries: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    faults: Optional[Any] = None,
     **keybin_params: Any,
-) -> List[DistributedInSituResult]:
-    """Front-end: one rank per trajectory, results in rank order."""
+) -> List[Any]:
+    """Front-end: one rank per trajectory, results in rank order.
+
+    With ``recover=True`` the run survives rank failures: failed ranks'
+    slots in the returned list hold the exception that killed them, and
+    survivors' :class:`DistributedInSituResult` entries report
+    ``recoveries``/``frames_lost``. ``faults`` takes a
+    :class:`~repro.comm.faults.FaultPlan` (or its ``parse`` spec string)
+    for deterministic chaos testing.
+    """
     if not trajectories:
         raise ValidationError("need at least one trajectory")
     for i, traj in enumerate(trajectories):
@@ -292,6 +536,9 @@ def run_distributed_insitu(
         len(trajectories),
         executor=executor,
         args=(list(trajectories), chunk_size, consolidate_every, seed,
-              reduce_algo, dict(keybin_params)),
+              reduce_algo, recover, max_recoveries, checkpoint_dir,
+              checkpoint_every, dict(keybin_params)),
         timeout=timeout,
+        faults=faults,
+        return_exceptions=recover,
     )

@@ -158,6 +158,24 @@ def ensure_core_series(registry: MetricsRegistry = None) -> MetricsRegistry:
         ("rank",),
     )
     reg.counter(
+        "insitu_recoveries_total",
+        "Rank-failure recoveries this rank survived (agreement + "
+        "communicator shrink + ledger rollback + re-merge).",
+        ("rank",),
+    )
+    reg.counter(
+        "insitu_frames_lost_total",
+        "Frames of already-merged mass dropped with lost ranks, as "
+        "observed by this surviving rank.",
+        ("rank",),
+    )
+    reg.counter(
+        "serve_client_retries_total",
+        "Idempotent serve-client requests retried after a connection "
+        "failure, by operation.",
+        ("op",),
+    )
+    reg.counter(
         "kernel_launches_total",
         "KernelEngine block launches, by kernel name.",
         ("kernel",),

@@ -25,7 +25,7 @@ from repro.obs.registry import (
     set_default_registry,
 )
 
-__all__ = ["run_obs_report", "phase_table", "comm_table"]
+__all__ = ["run_obs_report", "phase_table", "comm_table", "recovery_table"]
 
 
 def _family_values(reg: MetricsRegistry, name: str) -> List[Dict[str, Any]]:
@@ -110,6 +110,27 @@ def comm_table(reg: MetricsRegistry, model_bytes_per_round: int) -> str:
     return "\n".join(lines)
 
 
+def recovery_table(reg: MetricsRegistry) -> str:
+    """Render per-rank fault-recovery counters (empty run → one-liner)."""
+    recoveries = {
+        s["labels"]["rank"]: int(s["value"])
+        for s in _family_values(reg, "insitu_recoveries_total")
+        if s["value"]
+    }
+    lost = {
+        s["labels"]["rank"]: int(s["value"])
+        for s in _family_values(reg, "insitu_frames_lost_total")
+    }
+    if not recoveries:
+        return "  (no rank-failure recoveries)"
+    lines = [f"  {'rank':>4}  {'recoveries':>10}  {'frames lost':>11}"]
+    for rank in sorted(recoveries, key=int):
+        lines.append(
+            f"  {rank:>4}  {recoveries[rank]:>10}  {lost.get(rank, 0):>11}"
+        )
+    return "\n".join(lines)
+
+
 def run_obs_report(
     n_ranks: int = 3,
     n_frames: int = 160,
@@ -118,12 +139,20 @@ def run_obs_report(
     seed: int = 0,
     reduce_algo: str = "linear",
     as_json: bool = False,
+    faults: str = None,
+    checkpoint_dir: str = None,
 ) -> str:
     """Run the instrumented demo workload and render the breakdowns.
 
     The run records into a fresh registry temporarily installed as the
     process default, so the report reflects only this workload (and never
     pollutes, or is polluted by, whatever else the process measured).
+
+    ``faults`` takes a :meth:`~repro.comm.faults.FaultPlan.parse` spec
+    (e.g. ``"kill:1@1"``); recovery is enabled automatically so the report
+    shows the survivors' recovery counters. ``checkpoint_dir`` checkpoints
+    every consolidation round (and resumes, if the directory already holds
+    a complete round).
     """
     from repro.core.streaming import StreamingKeyBin2
     from repro.insitu.distributed import run_distributed_insitu
@@ -147,10 +176,17 @@ def run_obs_report(
         results = run_distributed_insitu(
             trajs, chunk_size=chunk_size,
             consolidate_every=consolidate_every, seed=seed,
-            reduce_algo=reduce_algo, **keybin,
+            reduce_algo=reduce_algo, faults=faults,
+            recover=faults is not None, checkpoint_dir=checkpoint_dir,
+            timeout=60.0 if faults is not None else 600.0,
+            **keybin,
         )
     finally:
         set_default_registry(previous)
+    survivors = [r for r in results if not isinstance(r, BaseException)]
+    failed = [i for i, r in enumerate(results) if isinstance(r, BaseException)]
+    if not survivors:
+        raise RuntimeError("every rank failed; nothing to report")
     # Cost-model probe (instrumented into the restored registry, not the
     # report's): the flat histogram-delta buffer of an identically
     # configured model is the O(2·K·N_rp·B) wire term.
@@ -169,14 +205,16 @@ def run_obs_report(
                     "consolidate_every": consolidate_every,
                     "reduce_algo": reduce_algo,
                     "model_hist_bytes_per_round": model_bytes,
+                    "faults": faults,
+                    "failed_ranks": failed,
                 },
                 **render_json(report_reg),
             },
             sort_keys=True,
         )
 
-    total_sent = sum(r.traffic["bytes_sent"] for r in results)
-    clusters = results[0].n_clusters
+    total_sent = sum(r.traffic["bytes_sent"] for r in survivors)
+    clusters = survivors[0].n_clusters
     out = [
         "obs-report — instrumented distributed in-situ run",
         f"  ranks={n_ranks}  frames/rank={n_frames}  chunk={chunk_size}  "
@@ -189,7 +227,16 @@ def run_obs_report(
         "Consolidation comm volume (insitu_consolidation_bytes_total):",
         comm_table(report_reg, model_bytes),
         "",
+        "Fault recovery (insitu_recoveries_total / insitu_frames_lost_total):",
+        recovery_table(report_reg),
+        "",
         f"  communicator total bytes sent (all ranks, incl. control): "
         f"{total_sent:,}",
     ]
+    if failed:
+        out.insert(
+            2,
+            f"  injected faults: {faults!r}  ->  failed ranks {failed}, "
+            f"{len(survivors)} survivors",
+        )
     return "\n".join(out)

@@ -15,14 +15,29 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import QueueFullError, ServeError
+from repro.obs import default_registry
 
 __all__ = ["ServeClient", "AsyncServeClient", "PredictResult"]
+
+#: Operations that are safe to retry on a broken connection: they do not
+#: mutate server state, so replaying one after an ambiguous failure (the
+#: request may or may not have been processed) is harmless. ``reload`` and
+#: ``shutdown`` are deliberately absent — replaying those could swap a
+#: model twice or kill a server that already restarted.
+IDEMPOTENT_OPS = frozenset({"predict", "model-info", "stats", "healthz",
+                            "metrics"})
+
+
+class _ConnectionLost(ServeError):
+    """Transport-level failure (refused/reset/closed) — retry candidate."""
 
 
 class PredictResult:
@@ -78,33 +93,117 @@ class ServeClient:
 
         with ServeClient("127.0.0.1", 8765) as client:
             print(client.predict([0.1] * 16).label)
+
+    With ``retries > 0``, *idempotent* operations (:data:`IDEMPOTENT_OPS`)
+    transparently reconnect and retry on connection-refused / reset /
+    server-closed failures, sleeping an exponentially growing, jittered
+    backoff between attempts. ``reload`` and ``shutdown`` are never
+    retried: after an ambiguous failure the request may already have been
+    applied, and replaying a mutation is worse than surfacing the error.
+    Retries are counted in the obs registry
+    (``serve_client_retries_total{op}``).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 0,
+                 backoff: float = 0.05, backoff_max: float = 2.0,
+                 jitter: float = 0.25, retry_seed: Optional[int] = None):
         self.host = host
         self.port = port
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ServeError(f"cannot connect to {host}:{port}: {exc}") from exc
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self.jitter = float(jitter)
+        if self.retries < 0 or self.backoff < 0 or not 0 <= self.jitter < 1:
+            raise ServeError(
+                "retries/backoff must be >= 0 and jitter in [0, 1)"
+            )
+        self._rng = random.Random(retry_seed)
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        if self.retries:
+            self._with_retries("connect", self._connect)
+        else:
+            self._connect()
 
     # -- plumbing ------------------------------------------------------------
 
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=self.timeout)
+        except OSError as exc:
+            raise _ConnectionLost(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+        self._sock = None
+        self._file = None
+
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one raw request dict, return the raw response dict."""
+        """Send one raw request dict, return the raw response dict.
+
+        No retry at this layer: callers that want retry semantics go
+        through the idempotent operation methods.
+        """
+        if self._file is None:
+            self._connect()
         try:
             self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
             self._file.flush()
             line = self._file.readline()
         except OSError as exc:
-            raise ServeError(f"connection to server lost: {exc}") from exc
+            self._teardown()
+            raise _ConnectionLost(f"connection to server lost: {exc}") from exc
         if not line:
-            raise ServeError("server closed the connection")
+            self._teardown()
+            raise _ConnectionLost("server closed the connection")
         return json.loads(line)
 
+    def _backoff_sleep(self, attempt: int) -> None:
+        delay = min(self.backoff_max, self.backoff * (2.0 ** attempt))
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _with_retries(self, op: str, call: Any) -> Any:
+        """Run ``call`` with up to ``self.retries`` reconnect-and-retry."""
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except _ConnectionLost:
+                if attempt >= self.retries:
+                    raise
+                self._backoff_sleep(attempt)
+                attempt += 1
+                reg = default_registry()
+                if reg.enabled:
+                    reg.counter(
+                        "serve_client_retries_total",
+                        "Idempotent serve-client requests retried after a "
+                        "connection failure, by operation.",
+                        ("op",),
+                    ).labels(op=op).inc()
+
+    def _request_idempotent(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = str(payload["op"])
+        assert op in IDEMPOTENT_OPS, f"{op} is not safe to retry"
+        if not self.retries:
+            return self.request(payload)
+        return self._with_retries(op, lambda: self.request(payload))
+
     def close(self) -> None:
+        if self._file is None:
+            return
         try:
             self._file.close()
         finally:
@@ -119,22 +218,22 @@ class ServeClient:
     # -- operations ------------------------------------------------------------
 
     def predict(self, x: Union[np.ndarray, Sequence[float]]) -> PredictResult:
-        response = _raise_on_error(self.request({"op": "predict",
-                                                 "x": _as_payload(x)}))
+        response = _raise_on_error(self._request_idempotent(
+            {"op": "predict", "x": _as_payload(x)}))
         return _predict_result(response)
 
     def model_info(self) -> Dict[str, Any]:
-        return _raise_on_error(self.request({"op": "model-info"}))
+        return _raise_on_error(self._request_idempotent({"op": "model-info"}))
 
     def stats(self) -> Dict[str, Any]:
-        return _raise_on_error(self.request({"op": "stats"}))
+        return _raise_on_error(self._request_idempotent({"op": "stats"}))
 
     def metrics(self) -> Dict[str, Any]:
         """Scrape telemetry: ``{"prometheus": <text>, "metrics": <json>}``."""
-        return _raise_on_error(self.request({"op": "metrics"}))
+        return _raise_on_error(self._request_idempotent({"op": "metrics"}))
 
     def healthz(self) -> Dict[str, Any]:
-        return _raise_on_error(self.request({"op": "healthz"}))
+        return _raise_on_error(self._request_idempotent({"op": "healthz"}))
 
     def reload(self, path: str, tag: Optional[str] = None) -> int:
         """Ask the server to hot-swap in a model file; returns new version."""

@@ -1,0 +1,121 @@
+"""Failure-skeleton semantics the recovery layer is built on.
+
+Pins the promises the executors and the mailbox make when a rank dies:
+every survivor observes the death (no hang), timeouts convert to
+:class:`~repro.errors.RankFailedError`, the caller gets the *first*
+failing rank's traceback chained from the original exception, and a rank
+SIGKILLed mid-collective still tears the run down promptly.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.comm import run_spmd
+from repro.errors import RankFailedError
+
+
+def _raise_on_rank0(comm):
+    if comm.rank == 0:
+        raise ValueError("rank 0 exploded")
+    # Peers block on a message rank 0 will never send; only the failure
+    # sentinel fan-out can release them before the (long) recv timeout.
+    try:
+        comm.recv(0, tag=5)
+    except RankFailedError as exc:
+        return ("failed-peer", exc.rank, exc.confirmed)
+    return "unreachable"
+
+
+def _timeout_prog(comm):
+    if comm.rank == 1:
+        return "idle"          # never sends, but stays alive
+    try:
+        comm.recv(1, tag=9)
+    except RankFailedError as exc:
+        return ("timeout", exc.rank, exc.confirmed)
+    return "unreachable"
+
+
+def _divzero_on_rank2(comm):
+    if comm.rank == 2:
+        return 1 // 0
+    return comm.allreduce(1.0)
+
+
+def _sigkill_rank1(comm):
+    if comm.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return comm.allreduce(1.0)
+
+
+class TestFailureFanOut:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_every_survivor_sees_the_death(self, executor):
+        """Peers blocked with a 60 s recv timeout wake within seconds."""
+        t0 = time.monotonic()
+        results = run_spmd(_raise_on_rank0, 4, executor=executor, timeout=60,
+                           return_exceptions=True)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30, f"fan-out took {elapsed:.1f}s — peers hung"
+        assert isinstance(results[0], BaseException)
+        for rank in (1, 2, 3):
+            kind, failed_rank, confirmed = results[rank]
+            assert kind == "failed-peer"
+            assert failed_rank == 0
+            assert confirmed is True
+
+    def test_recv_timeout_becomes_rank_failed_error(self):
+        results = run_spmd(_timeout_prog, 2, executor="thread", timeout=0.5)
+        kind, rank, confirmed = results[0]
+        assert kind == "timeout"
+        assert rank == 1
+        assert confirmed is False   # inferred from silence, not a sentinel
+
+
+class TestFirstFailureTraceback:
+    def test_thread_chains_original_exception(self):
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(_divzero_on_rank2, 4, executor="thread", timeout=20)
+        exc = excinfo.value
+        assert exc.rank == 2
+        assert isinstance(exc.__cause__, ZeroDivisionError)
+        assert "ZeroDivisionError" in str(exc)       # traceback text included
+
+    def test_process_reports_first_failing_rank(self):
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(_divzero_on_rank2, 4, executor="process", timeout=60)
+        exc = excinfo.value
+        assert exc.rank == 2
+        assert "ZeroDivisionError" in str(exc)
+
+    def test_return_exceptions_keeps_survivor_results(self):
+        results = run_spmd(_divzero_on_rank2, 3, executor="thread", timeout=20,
+                           return_exceptions=True)
+        assert isinstance(results[2], ZeroDivisionError)
+        # Survivors still failed (the collective lost a participant) but
+        # their exceptions land in their slots instead of aborting the call.
+        for rank in (0, 1):
+            assert isinstance(results[rank], RankFailedError)
+
+
+class TestSigkillTeardown:
+    def test_sigkilled_rank_mid_collective_tears_down(self):
+        """A SIGKILL leaves no sentinel; the parent must fan out on the
+        dead rank's behalf so survivors abort long before their timeout."""
+        t0 = time.monotonic()
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(_sigkill_rank1, 3, executor="process", timeout=60)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30, f"teardown took {elapsed:.1f}s"
+        assert excinfo.value.rank == 1
+        assert "exited with code" in str(excinfo.value)
+
+    def test_sigkill_with_return_exceptions(self):
+        results = run_spmd(_sigkill_rank1, 3, executor="process", timeout=60,
+                           return_exceptions=True)
+        assert isinstance(results[1], RankFailedError)
+        for rank in (0, 2):
+            assert isinstance(results[rank], RankFailedError)

@@ -1,0 +1,135 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.comm import run_spmd
+from repro.comm.faults import (
+    DelayMessage,
+    DropMessage,
+    FaultInjector,
+    FaultPlan,
+    KillRank,
+    SlowRank,
+    maybe_inject,
+)
+from repro.errors import InjectedFault, ValidationError
+
+
+class TestFaultPlanParse:
+    def test_kill(self):
+        plan = FaultPlan.parse("kill:1@2")
+        assert plan.faults == [KillRank(1, 2)]
+        assert plan.killed_ranks() == [1]
+
+    def test_drop(self):
+        plan = FaultPlan.parse("drop:0>2@3")
+        assert plan.faults == [DropMessage(0, 2, 3)]
+
+    def test_delay(self):
+        plan = FaultPlan.parse("delay:2>0@1:0.5")
+        assert plan.faults == [DelayMessage(2, 0, 1, 0.5)]
+
+    def test_slow(self):
+        plan = FaultPlan.parse("slow:1:0.01")
+        assert plan.faults == [SlowRank(1, 0.01)]
+
+    def test_combined_with_whitespace(self):
+        plan = FaultPlan.parse(" kill:1@2 , slow:0:0.005 ")
+        assert plan.killed_ranks() == [1]
+        assert SlowRank(0, 0.005) in plan.faults
+
+    @pytest.mark.parametrize("bad", [
+        "kill:1", "drop:0>2", "explode:3@1", "kill:x@2", "delay:1>2@0:abc",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            FaultPlan.parse(bad)
+
+    def test_empty_spec_is_empty_plan(self):
+        assert FaultPlan.parse("").faults == []
+
+
+class TestFaultValidation:
+    def test_kill_mode_checked(self):
+        with pytest.raises(ValidationError):
+            KillRank(0, 0, mode="vaporize")
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(ValidationError):
+            DropMessage(0, 1, nth=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            DelayMessage(0, 1, 1, seconds=-1.0)
+
+    def test_jitter_range(self):
+        with pytest.raises(ValidationError):
+            FaultPlan([], jitter=1.5)
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(["kill rank 3"])
+
+
+class TestFaultInjector:
+    def test_drop_fires_on_exact_message(self):
+        inj = FaultInjector(FaultPlan([DropMessage(0, 1, nth=2)]), rank=0)
+        assert inj.on_send(1, tag=0) is True       # 1st message delivered
+        assert inj.on_send(1, tag=0) is False      # 2nd dropped
+        assert inj.on_send(1, tag=0) is True       # 3rd delivered
+        assert inj.dropped == [(1, 2)]
+
+    def test_counters_are_per_destination(self):
+        inj = FaultInjector(FaultPlan([DropMessage(0, 2, nth=1)]), rank=0)
+        assert inj.on_send(1, tag=0) is True       # dest 1 unaffected
+        assert inj.on_send(2, tag=0) is False
+        assert inj.dropped == [(2, 1)]
+
+    def test_delay_recorded(self):
+        inj = FaultInjector(
+            FaultPlan([DelayMessage(0, 1, nth=1, seconds=0.0)]), rank=0
+        )
+        assert inj.on_send(1, tag=0) is True
+        assert inj.delayed == [(1, 1)]
+
+    def test_kill_fires_at_exact_event(self):
+        inj = FaultInjector(FaultPlan([KillRank(3, at=1)]), rank=3)
+        inj.on_event("consolidation")              # round 0: survives
+        with pytest.raises(InjectedFault, match="round 1"):
+            inj.on_event("consolidation")
+
+    def test_kill_only_matches_named_event(self):
+        inj = FaultInjector(FaultPlan([KillRank(0, at=0, event="refresh")]),
+                            rank=0)
+        inj.on_event("consolidation")              # different event: no fire
+        with pytest.raises(InjectedFault):
+            inj.on_event("refresh")
+
+    def test_other_ranks_unaffected(self):
+        inj = FaultInjector(FaultPlan([KillRank(1, at=0)]), rank=0)
+        inj.on_event("consolidation")              # rank 0 survives rank-1 kill
+
+
+class TestMaybeInject:
+    def test_noop_without_injector(self):
+        class Bare:
+            pass
+
+        maybe_inject(Bare())                       # must not raise
+
+    def test_serial_executor_installs_injector(self):
+        def prog(comm):
+            maybe_inject(comm)
+            return "survived"
+
+        with pytest.raises(InjectedFault):
+            run_spmd(prog, 1, executor="serial", faults="kill:0@0")
+
+    def test_spec_string_accepted_by_run_spmd(self):
+        def prog(comm):
+            maybe_inject(comm)
+            return comm.rank
+
+        out = run_spmd(prog, 2, executor="thread", timeout=20,
+                       faults="kill:5@0")          # kills a rank that isn't there
+        assert out == [0, 1]
