@@ -158,7 +158,31 @@ def _serve_common_flags(parser: argparse.ArgumentParser) -> None:
                         help="micro-batch max linger (milliseconds)")
     parser.add_argument("--queue", type=int, default=10_000,
                         help="pending-row bound before backpressure rejections")
+    parser.add_argument("--admit-rate", type=float, default=None,
+                        help="token-bucket sustained admission rate "
+                             "(predicts/s; default: unlimited)")
+    parser.add_argument("--admit-burst", type=int, default=100,
+                        help="token-bucket burst size above --admit-rate")
+    parser.add_argument("--max-in-flight", type=int, default=None,
+                        help="bound on concurrently admitted predicts "
+                             "(default: unlimited)")
+    parser.add_argument("--default-deadline-ms", type=float, default=None,
+                        help="deadline applied to predicts that carry no "
+                             "deadline_ms (default: none)")
+    parser.add_argument("--drain-s", type=float, default=5.0,
+                        help="graceful-drain hard cutoff on shutdown (seconds)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _admission_from_args(args) -> "object":
+    from repro.serve.admission import AdmissionPolicy
+
+    return AdmissionPolicy(
+        rate=args.admit_rate,
+        burst=args.admit_burst,
+        max_in_flight=args.max_in_flight,
+        default_deadline_ms=args.default_deadline_ms,
+    )
 
 
 def _run_serve(argv: List[str]) -> int:
@@ -189,7 +213,9 @@ def _run_serve(argv: List[str]) -> int:
                          max_delay_s=args.window_ms / 1000.0,
                          max_queue=args.queue)
     server = ModelServer(registry, host=args.host, port=args.port, policy=policy,
-                         allow_admin=True if args.allow_admin else None)
+                         allow_admin=True if args.allow_admin else None,
+                         admission=_admission_from_args(args),
+                         drain_s=args.drain_s)
 
     async def _run():
         await server.start()
@@ -246,6 +272,11 @@ def _run_serve_bench(argv: List[str]) -> int:
                         help="open-loop arrival rate (req/s)")
     parser.add_argument("--duration", type=float, default=1.0,
                         help="open-loop duration (seconds)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="attach this latency budget to every request")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        help="client-side per-request timeout (seconds); "
+                             "expiries count as 'timeout' outcomes")
     args = parser.parse_args(argv)
 
     registry = ModelRegistry()
@@ -257,25 +288,36 @@ def _run_serve_bench(argv: List[str]) -> int:
                                  .info()["n_features"], n_clusters=4,
                                  seed=args.seed + 1)
     with serve_in_thread(registry, host=args.host, port=args.port,
-                         policy=policy) as handle:
+                         policy=policy,
+                         admission=_admission_from_args(args),
+                         drain_s=args.drain_s) as handle:
         host, port = handle.address
         if args.mode == "closed":
             report = run_closed_loop(host, port, points,
                                      n_requests=args.requests,
-                                     n_clients=args.clients)
+                                     n_clients=args.clients,
+                                     deadline_ms=args.deadline_ms,
+                                     request_timeout_s=args.request_timeout)
         else:
             report = run_open_loop(host, port, points, rate=args.rate,
                                    duration_s=args.duration,
-                                   n_connections=args.clients)
+                                   n_connections=args.clients,
+                                   deadline_ms=args.deadline_ms,
+                                   request_timeout_s=args.request_timeout)
         stats = handle.server.stats.snapshot()
         cache = handle.server.cache.snapshot()
     print(report.render())
     print(f"  server: mean batch {stats['mean_batch_size']} "
           f"(max {stats['max_batch_seen']}), "
           f"batch hist {stats['batch_size_hist']}")
+    if stats["shed_total"] or stats["deadline_expired_total"]:
+        print(f"  server: shed {stats['shed_by_reason']}  "
+              f"deadline-expired {stats['deadline_expired_total']}  "
+              f"queue wait mean {stats['queue_wait']['mean_ms']}ms")
     print(f"  cache: hit rate {cache['hit_rate']:.2%} "
           f"({cache['hits']} hits / {cache['misses']} misses)")
-    return 0 if report.requests_failed == 0 else 1
+    # Explicit sheds are intended degradation, not benchmark failure.
+    return 0 if report.requests_failed == report.shed_total else 1
 
 
 def _run_obs_report(argv: List[str]) -> int:
@@ -309,12 +351,17 @@ def _run_obs_report(argv: List[str]) -> int:
                         help="write per-rank checkpoints after every "
                              "consolidation; an existing directory resumes "
                              "the run from its last complete round")
+    parser.add_argument("--suspicion", type=float, default=None,
+                        metavar="SECS",
+                        help="soft suspicion deadline below the hard receive "
+                             "timeout: stalled receives ping the peer and "
+                             "wait it out if alive (slow != dead)")
     args = parser.parse_args(argv)
     print(run_obs_report(
         n_ranks=args.ranks, n_frames=args.frames, chunk_size=args.chunk,
         consolidate_every=args.every, seed=args.seed,
         reduce_algo=args.reduce, as_json=args.json, faults=args.faults,
-        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_dir=args.checkpoint_dir, suspicion=args.suspicion,
     ))
     return 0
 

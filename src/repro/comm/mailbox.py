@@ -27,6 +27,29 @@ Three extensions make the mailbox substrate recoverable:
   timeout, the primitive the survivor-agreement protocol
   (:mod:`repro.comm.membership`) is built from.
 
+Straggler tolerance (slow ≠ dead)
+---------------------------------
+With ``suspicion_timeout`` set, a blocking receive splits its single
+timeout into a soft *suspicion* deadline and the hard *failure* deadline:
+on soft timeout the waiter sends a ``PING`` sentinel to the suspect and
+keeps waiting; any rank that is itself blocked in a receive answers with
+``PONG`` from inside its drain loop. A ``PONG`` from the awaited source
+proves the peer alive and extends the hard deadline (a bounded number of
+times, so a genuinely wedged peer still fails). Only the hard timeout —
+or an announced death — enters survivor agreement. This is what prevents
+*cascade* false positives: rank B waiting on rank A, while A is stuck
+waiting on a genuinely slow rank C, would otherwise time B out against a
+perfectly healthy A. A rank that is slow because it is *computing* cannot
+answer pings — its direct waiters are governed by the hard deadline
+alone, which is why the hard deadline must exceed the worst expected
+compute stall.
+
+PING/PONG are raw-tagged (epoch-independent) and delivered by direct
+inbox puts, bypassing both traffic accounting and the fault injector:
+liveness probes must not perturb deterministic chaos schedules or
+communication-volume measurements. Straggler episodes are counted in
+``insitu_straggler_waits_total`` / ``insitu_straggler_wait_seconds``.
+
 An optional :class:`~repro.comm.faults.FaultInjector` hooks every send for
 deterministic chaos testing (message drops, delays, slow ranks).
 """
@@ -52,6 +75,18 @@ FAILURE_TAG = -999
 #: at its full receive timeout.
 RECOVERY_TAG = -998
 
+#: Liveness probe sent to a suspected straggler on soft (suspicion) timeout.
+PING_TAG = -997
+
+#: Liveness reply: "I am alive, merely waiting on someone else myself."
+PONG_TAG = -996
+
+#: Bound on hard-deadline extensions one receive grants a proven-alive
+#: peer. Caps the livelock where a chain of mutually-waiting ranks keeps
+#: extending each other forever: after this many extensions the hard
+#: deadline is final even for a peer that still answers pings.
+_MAX_STRAGGLER_EXTENSIONS = 8
+
 #: Tag-space offset between epochs. Application and collective tags must
 #: stay within (-_EPOCH_STRIDE/2, _EPOCH_STRIDE/2); the library's own tags
 #: are all small negatives, and SPMD programs conventionally use small
@@ -71,11 +106,18 @@ class MailboxComm(Communicator):
         *physical* rank. ``inboxes[r]`` is the inbound queue of physical
         rank ``r``. All ranks share the same sequence.
     timeout:
-        Seconds to wait in ``recv`` before declaring the peer lost. ``None``
-        waits forever.
+        Seconds to wait in ``recv`` before declaring the peer lost — the
+        *hard* failure deadline. ``None`` waits forever.
     injector:
         Optional :class:`~repro.comm.faults.FaultInjector` consulted on
         every send (chaos testing only).
+    suspicion_timeout:
+        Soft *suspicion* deadline: after this many seconds blocked in a
+        receive, the waiter pings the suspect (and re-pings each further
+        ``suspicion_timeout``). A ``PONG`` proves the peer alive and
+        extends the hard deadline. ``None`` (default) disables probing —
+        behavior is exactly the single-deadline protocol of earlier
+        versions. Must be smaller than ``timeout`` to have any effect.
     """
 
     def __init__(
@@ -85,12 +127,19 @@ class MailboxComm(Communicator):
         inboxes: Sequence[Any],
         timeout: Optional[float] = None,
         injector: Optional[Any] = None,
+        suspicion_timeout: Optional[float] = None,
     ):
         super().__init__(rank, size)
         if len(inboxes) < size:
             raise CommError(f"need {size} inboxes, got {len(inboxes)}")
+        if suspicion_timeout is not None and suspicion_timeout <= 0:
+            raise CommError("suspicion_timeout must be > 0 (or None)")
         self._inboxes = inboxes
         self._timeout = timeout
+        self._suspicion_timeout = suspicion_timeout
+        # Shared (dict, not scalars) with shrunken views so straggler
+        # accounting is cumulative across recovery epochs.
+        self._straggler = {"waits": 0, "wait_s": 0.0}
         # Keyed by (physical source, wire tag); shared with shrunken views
         # so a message drained under one epoch is visible to the next.
         self._pending: Dict[Tuple[int, int], deque] = {}
@@ -143,7 +192,8 @@ class MailboxComm(Communicator):
     def _recv_impl(self, source: int, tag: int) -> Any:
         source_phys = self._physical[source]
         status, payload = self._drain_until(source_phys, self._wire_tag(tag),
-                                            self._timeout, heed_recovery=True)
+                                            self._timeout, heed_recovery=True,
+                                            allow_ping=True)
         if status == "ok":
             return payload
         if status == "recovery":
@@ -190,6 +240,7 @@ class MailboxComm(Communicator):
         wire_tag: int,
         timeout: Optional[float],
         heed_recovery: bool = False,
+        allow_ping: bool = False,
     ) -> Tuple[str, Any]:
         if heed_recovery and self._epoch in self._recovery_notices:
             # The current epoch is already abandoned: abort before blocking
@@ -201,23 +252,50 @@ class MailboxComm(Communicator):
             return "ok", box.popleft()
         if source_phys in self._dead:
             return "failed", self._failure_notices.get(source_phys, "known dead")
-        deadline = None if timeout is None else time.monotonic() + timeout
+        # Suspicion only applies to application receives (allow_ping) with
+        # a finite hard deadline it can undercut; recv_probe waits belong
+        # to the agreement protocol, which manages its own timeouts.
+        suspicion = self._suspicion_timeout if allow_ping else None
+        if suspicion is not None and (timeout is None or suspicion >= timeout):
+            suspicion = None
+        now = time.monotonic()
+        deadline = None if timeout is None else now + timeout
+        suspect_at = None if suspicion is None else now + suspicion
+        suspicion_started: Optional[float] = None
+        extensions = 0
         while True:
+            now = time.monotonic()
             remaining: Optional[float] = None
             if deadline is not None:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - now
                 if remaining <= 0:
+                    self._finish_straggler_episode(suspicion_started)
                     return "timeout", None
+            wait = remaining
+            if suspect_at is not None:
+                to_suspect = suspect_at - now
+                if to_suspect <= 0:
+                    # Soft deadline passed: probe the suspect and keep
+                    # waiting toward the hard deadline; re-ping each
+                    # further suspicion window (the first PING may have
+                    # landed while the peer was between receives).
+                    self._put_raw(source_phys, PING_TAG, None)
+                    if suspicion_started is None:
+                        suspicion_started = now
+                    suspect_at = now + suspicion
+                    to_suspect = suspicion
+                wait = to_suspect if wait is None else min(wait, to_suspect)
             try:
-                src, msg_tag, payload = self._get(remaining)
+                src, msg_tag, payload = self._get(wait)
             except TimeoutError:
-                return "timeout", None
+                continue  # re-evaluate suspicion / hard deadlines
             if msg_tag == FAILURE_TAG:
                 # Epoch-independent: a dying rank announces with the raw tag.
                 if src not in self._dead:
                     self._dead.add(src)
                     self._failure_notices[src] = str(payload)
                 if src == source_phys:
+                    self._finish_straggler_episode(suspicion_started)
                     return "failed", str(payload)
                 continue
             if msg_tag == RECOVERY_TAG:
@@ -229,11 +307,74 @@ class MailboxComm(Communicator):
                     epoch, (int(blamed), bool(confirmed), str(reason))
                 )
                 if heed_recovery and epoch == self._epoch:
+                    self._finish_straggler_episode(suspicion_started)
                     return "recovery", self._recovery_notices[epoch]
                 continue
+            if msg_tag == PING_TAG:
+                # Answering from inside the drain loop is the point: only a
+                # rank that is itself alive-and-waiting can prove liveness.
+                self._put_raw(src, PONG_TAG, None)
+                continue
+            if msg_tag == PONG_TAG:
+                if (
+                    src == source_phys
+                    and suspicion_started is not None
+                    and deadline is not None
+                    and extensions < _MAX_STRAGGLER_EXTENSIONS
+                ):
+                    # The suspect is alive (blocked on someone else, not
+                    # dead): grant it a fresh hard deadline.
+                    extensions += 1
+                    deadline = time.monotonic() + timeout
+                continue  # stale pong from an earlier episode: drop
             if src == source_phys and msg_tag == wire_tag:
+                self._finish_straggler_episode(suspicion_started)
                 return "ok", payload
             self._pending.setdefault((src, msg_tag), deque()).append(payload)
+
+    # -- straggler bookkeeping --------------------------------------------
+
+    def _put_raw(self, dest_phys: int, tag: int, payload: Any) -> None:
+        """Direct inbox put for liveness sentinels.
+
+        Bypasses the fault injector (probes must not consume injected-fault
+        schedule slots — chaos plans stay deterministic) and traffic
+        accounting (probes are not application communication volume).
+        """
+        try:
+            self._inboxes[dest_phys].put((self._my_physical, tag, payload))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+
+    def _finish_straggler_episode(self, started: Optional[float]) -> None:
+        if started is None:
+            return
+        waited = time.monotonic() - started
+        self._straggler["waits"] += 1
+        self._straggler["wait_s"] += waited
+        from repro.obs import default_registry  # local: avoid import cycle
+
+        reg = default_registry()
+        if reg.enabled:
+            reg.counter(
+                "insitu_straggler_waits_total",
+                "Receives that passed their suspicion deadline and probed "
+                "the peer before resolving.",
+            ).inc()
+            reg.counter(
+                "insitu_straggler_wait_seconds",
+                "Seconds spent waiting beyond suspicion deadlines.",
+            ).inc(waited)
+
+    @property
+    def straggler_waits(self) -> int:
+        """Receives that entered a suspicion episode (cumulative)."""
+        return int(self._straggler["waits"])
+
+    @property
+    def straggler_wait_s(self) -> float:
+        """Seconds waited beyond suspicion deadlines (cumulative)."""
+        return float(self._straggler["wait_s"])
 
     def drain_failure_notices(self) -> Dict[int, str]:
         """Physical ranks whose failure sentinels this rank has observed."""
@@ -314,6 +455,8 @@ class MailboxComm(Communicator):
         Communicator.__init__(child, survivors.index(self._rank), len(survivors))
         child._inboxes = self._inboxes
         child._timeout = self._timeout
+        child._suspicion_timeout = self._suspicion_timeout
+        child._straggler = self._straggler
         child._pending = self._pending
         child.fault_injector = self.fault_injector
         child._physical = [self._physical[r] for r in survivors]

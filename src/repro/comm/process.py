@@ -47,13 +47,15 @@ def _worker_main(
     args: Sequence[Any],
     timeout: Optional[float],
     faults: Optional[Any],
+    suspicion_timeout: Optional[float] = None,
 ) -> None:
     injector = None
     if faults is not None:
         from repro.comm.faults import FaultInjector
 
         injector = FaultInjector(faults, rank)
-    comm = MailboxComm(rank, size, inboxes, timeout=timeout, injector=injector)
+    comm = MailboxComm(rank, size, inboxes, timeout=timeout, injector=injector,
+                       suspicion_timeout=suspicion_timeout)
     try:
         value = fn(comm, *args)
     except BaseException as exc:  # noqa: BLE001
@@ -72,12 +74,14 @@ def run_spmd_processes(
     start_method: str = "fork",
     faults: Optional[Any] = None,
     return_exceptions: bool = False,
+    suspicion_timeout: Optional[float] = None,
 ) -> List[Any]:
     """Execute ``fn(comm, *args)`` on ``size`` process ranks.
 
     Returns per-rank return values in rank order. Return values must be
     picklable. ``timeout`` bounds both each rank's receives and how long
-    the parent waits between result arrivals.
+    the parent waits between result arrivals. ``suspicion_timeout``
+    enables slow≠dead probing in each rank's communicator.
     """
     ctx = mp.get_context(start_method)
     inboxes = [ctx.Queue() for _ in range(size)]
@@ -86,7 +90,8 @@ def run_spmd_processes(
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, size, inboxes, result_queue, fn, args, timeout, faults),
+            args=(rank, size, inboxes, result_queue, fn, args, timeout, faults,
+                  suspicion_timeout),
             name=f"spmd-rank-{rank}",
         )
         for rank in range(size)

@@ -69,6 +69,7 @@ def run_spmd(
     timeout: Optional[float] = 120.0,
     faults: Union[None, str, Any] = None,
     return_exceptions: bool = False,
+    suspicion_timeout: Optional[float] = None,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
 
@@ -84,9 +85,17 @@ def run_spmd(
     args:
         Extra positional arguments passed to every rank.
     timeout:
-        Per-receive timeout in seconds (deadlock detector). ``None`` disables.
-        Honored by every collective — the library topologies (linear, ring,
-        tree) are all built on the communicator's timed receives.
+        Per-receive *hard failure* timeout in seconds (deadlock detector).
+        ``None`` disables. Honored by every collective — the library
+        topologies (linear, ring, tree) are all built on the
+        communicator's timed receives.
+    suspicion_timeout:
+        Soft *suspicion* deadline (seconds) below ``timeout``: a receive
+        that passes it probes the peer with a liveness ping and, if the
+        peer answers, keeps waiting instead of declaring it failed. Makes
+        slow-but-alive ranks (stragglers) survivable without weakening
+        dead-rank detection. ``None`` (default) keeps the single-deadline
+        behavior. Ignored by the serial executor.
     faults:
         Optional :class:`~repro.comm.faults.FaultPlan` (or parseable spec
         string) installed on every rank's communicator.
@@ -122,6 +131,7 @@ def run_spmd(
         return run_spmd_threads(
             fn, size, args=args, timeout=timeout, faults=plan,
             return_exceptions=return_exceptions,
+            suspicion_timeout=suspicion_timeout,
         )
     if executor == "process":
         from repro.comm.process import run_spmd_processes
@@ -129,6 +139,7 @@ def run_spmd(
         return run_spmd_processes(
             fn, size, args=args, timeout=timeout, faults=plan,
             return_exceptions=return_exceptions,
+            suspicion_timeout=suspicion_timeout,
         )
     raise CommError(
         f"unknown executor {executor!r}; available: {spmd_available_executors()}"

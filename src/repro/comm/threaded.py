@@ -34,10 +34,13 @@ def run_spmd_threads(
     timeout: Optional[float] = 120.0,
     faults: Optional[Any] = None,
     return_exceptions: bool = False,
+    suspicion_timeout: Optional[float] = None,
 ) -> List[Any]:
     """Execute ``fn(comm, *args)`` on ``size`` thread ranks.
 
-    Returns the per-rank return values in rank order.
+    Returns the per-rank return values in rank order. ``suspicion_timeout``
+    enables slow≠dead probing in each rank's communicator (see
+    :class:`~repro.comm.mailbox.MailboxComm`).
     """
     inboxes = [queue.SimpleQueue() for _ in range(size)]
     results: List[Any] = [None] * size
@@ -53,7 +56,8 @@ def run_spmd_threads(
 
             injector = FaultInjector(faults, rank)
         comm = MailboxComm(rank, size, inboxes, timeout=timeout,
-                           injector=injector)
+                           injector=injector,
+                           suspicion_timeout=suspicion_timeout)
         try:
             results[rank] = fn(comm, *args)
         except BaseException as exc:  # noqa: BLE001 - must not kill the pool silently

@@ -19,6 +19,9 @@ __all__ = [
     "ConvergenceError",
     "ServeError",
     "QueueFullError",
+    "ShedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
 ]
 
 
@@ -92,3 +95,42 @@ class QueueFullError(ServeError):
     the micro-batcher bounds its queue so that a traffic spike degrades
     into fast rejections instead of unbounded memory growth.
     """
+
+    #: Wire code carried in ``{"ok": false, "err": <code>}`` responses so
+    #: clients and load generators can classify failures without parsing
+    #: human-oriented messages.
+    code = "queue_full"
+
+
+class ShedError(ServeError):
+    """Raised when admission control refuses a request (load shedding).
+
+    Shedding is the *intended* overload behavior: an explicit, immediate
+    rejection that costs the server nothing, instead of queueing work that
+    will time out after burning model time. Retry against another replica
+    or after backoff.
+    """
+
+    code = "shed"
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline expired before it was served.
+
+    The deadline travels with the request (``deadline_ms``); the server
+    sheds expired entries *before* they reach the model, so the response
+    is fast and explicit rather than a client-side timeout.
+    """
+
+    code = "deadline_exceeded"
+
+
+class CircuitOpenError(ServeError):
+    """Raised while the server-side circuit breaker is open.
+
+    The breaker trips after consecutive model errors and half-opens after
+    a cooldown; while open, predicts fail fast instead of queueing into a
+    known-broken model.
+    """
+
+    code = "circuit_open"

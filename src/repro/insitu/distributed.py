@@ -512,6 +512,7 @@ def run_distributed_insitu(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
     faults: Optional[Any] = None,
+    suspicion_timeout: Optional[float] = None,
     **keybin_params: Any,
 ) -> List[Any]:
     """Front-end: one rank per trajectory, results in rank order.
@@ -521,7 +522,10 @@ def run_distributed_insitu(
     survivors' :class:`DistributedInSituResult` entries report
     ``recoveries``/``frames_lost``. ``faults`` takes a
     :class:`~repro.comm.faults.FaultPlan` (or its ``parse`` spec string)
-    for deterministic chaos testing.
+    for deterministic chaos testing. ``suspicion_timeout`` (seconds,
+    below ``timeout``) turns receive stalls into liveness probes before
+    any failure is declared, so a slow-but-alive rank is waited out
+    instead of evicted (slow ≠ dead).
     """
     if not trajectories:
         raise ValidationError("need at least one trajectory")
@@ -541,4 +545,5 @@ def run_distributed_insitu(
         timeout=timeout,
         faults=faults,
         return_exceptions=recover,
+        suspicion_timeout=suspicion_timeout,
     )

@@ -25,7 +25,13 @@ from repro.obs.registry import (
     set_default_registry,
 )
 
-__all__ = ["run_obs_report", "phase_table", "comm_table", "recovery_table"]
+__all__ = [
+    "run_obs_report",
+    "phase_table",
+    "comm_table",
+    "recovery_table",
+    "overload_table",
+]
 
 
 def _family_values(reg: MetricsRegistry, name: str) -> List[Dict[str, Any]]:
@@ -131,6 +137,64 @@ def recovery_table(reg: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def overload_table(reg: MetricsRegistry) -> str:
+    """Render degradation counters: sheds, deadlines, stragglers, circuit.
+
+    Covers both prongs of the overload layer — serve-side shedding
+    (``serve_shed_total`` by reason, ``serve_deadline_expired_total``,
+    ``serve_queue_wait_seconds``, ``serve_circuit_open_total``) and
+    consolidation-side straggler waits (``insitu_straggler_*``). Series a
+    run never touched are simply omitted.
+    """
+    lines: List[str] = []
+    sheds = {
+        s["labels"]["reason"]: int(s["value"])
+        for s in _family_values(reg, "serve_shed_total")
+        if s["value"]
+    }
+    if sheds:
+        total = sum(sheds.values())
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(sheds.items()))
+        lines.append(f"  requests shed: {total:,}  ({detail})")
+    expired = {
+        s["labels"]["where"]: int(s["value"])
+        for s in _family_values(reg, "serve_deadline_expired_total")
+        if s["value"]
+    }
+    if expired:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(expired.items()))
+        lines.append(f"  deadlines expired: {sum(expired.values()):,}  ({detail})")
+    for s in _family_values(reg, "serve_queue_wait_seconds"):
+        count = int(s.get("count", 0))
+        if count:
+            mean_ms = s["sum"] / count * 1e3
+            lines.append(
+                f"  queue wait: {count:,} rows, mean {mean_ms:.3f} ms"
+            )
+    trips = sum(
+        int(s["value"])
+        for s in _family_values(reg, "serve_circuit_open_total")
+    )
+    if trips:
+        lines.append(f"  circuit-breaker trips: {trips}")
+    waits = sum(
+        int(s["value"])
+        for s in _family_values(reg, "insitu_straggler_waits_total")
+    )
+    wait_s = sum(
+        float(s["value"])
+        for s in _family_values(reg, "insitu_straggler_wait_seconds")
+    )
+    if waits:
+        lines.append(
+            f"  straggler suspicion episodes: {waits}  "
+            f"(waited {wait_s:.3f} s beyond soft deadlines; slow ≠ dead)"
+        )
+    if not lines:
+        return "  (no overload or straggler events)"
+    return "\n".join(lines)
+
+
 def run_obs_report(
     n_ranks: int = 3,
     n_frames: int = 160,
@@ -141,6 +205,7 @@ def run_obs_report(
     as_json: bool = False,
     faults: str = None,
     checkpoint_dir: str = None,
+    suspicion: float = None,
 ) -> str:
     """Run the instrumented demo workload and render the breakdowns.
 
@@ -152,7 +217,10 @@ def run_obs_report(
     (e.g. ``"kill:1@1"``); recovery is enabled automatically so the report
     shows the survivors' recovery counters. ``checkpoint_dir`` checkpoints
     every consolidation round (and resumes, if the directory already holds
-    a complete round).
+    a complete round). ``suspicion`` (seconds) enables slow≠dead liveness
+    probing below the hard receive timeout, so a ``slow:R:S`` fault plan
+    shows up as straggler waits in the Overload section instead of a
+    spurious recovery.
     """
     from repro.core.streaming import StreamingKeyBin2
     from repro.insitu.distributed import run_distributed_insitu
@@ -179,6 +247,7 @@ def run_obs_report(
             reduce_algo=reduce_algo, faults=faults,
             recover=faults is not None, checkpoint_dir=checkpoint_dir,
             timeout=60.0 if faults is not None else 600.0,
+            suspicion_timeout=suspicion,
             **keybin,
         )
     finally:
@@ -229,6 +298,9 @@ def run_obs_report(
         "",
         "Fault recovery (insitu_recoveries_total / insitu_frames_lost_total):",
         recovery_table(report_reg),
+        "",
+        "Overload / stragglers (serve_shed_total / insitu_straggler_*):",
+        overload_table(report_reg),
         "",
         f"  communicator total bytes sent (all ranks, incl. control): "
         f"{total_sent:,}",

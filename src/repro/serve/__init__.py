@@ -7,10 +7,11 @@ deployable service:
 
 registry    versioned in-process model registry with atomic hot-swap
 batcher     micro-batching queue coalescing single-point predicts
+admission   token-bucket admission control, deadlines, circuit breaker
 cache       LRU cell-code → label cache (version-keyed)
 server      stdlib-only asyncio TCP/JSON server + inference pipeline
 client      blocking and asyncio clients for the wire protocol
-loadgen     closed/open-loop load generator + report
+loadgen     closed/open-loop load generator + per-outcome report
 stats       serving metrics (throughput, batch histogram, hit rate)
 
 Quickstart::
@@ -28,6 +29,12 @@ or from the command line: ``python -m repro serve --model model.json``.
 
 from __future__ import annotations
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    CircuitBreaker,
+    resolve_deadline,
+)
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import LabelCache
 from repro.serve.client import AsyncServeClient, PredictResult, ServeClient
@@ -42,6 +49,10 @@ from repro.serve.server import (
 from repro.serve.stats import ServeStats
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "resolve_deadline",
     "BatchPolicy",
     "MicroBatcher",
     "LabelCache",

@@ -15,6 +15,13 @@ Backpressure is a bounded pending queue: beyond ``max_queue`` waiting
 rows, :meth:`submit` fails fast with :class:`QueueFullError` instead of
 letting memory grow without limit during an overload.
 
+Rows may carry an absolute monotonic *deadline*: at every flush, entries
+whose deadline has passed are shed from the batch — their futures resolve
+to :class:`~repro.errors.DeadlineExceededError` — *before* the model is
+called, so expired requests never burn model time and never hang. The
+time each row spent queued is recorded in the
+``serve_queue_wait_seconds`` histogram, whether it was labeled or shed.
+
 The batcher is transport-agnostic — the TCP server feeds it, but so do
 in-process benchmarks — and model-agnostic: it calls a supplied
 ``predict_rows(matrix) -> (labels, record)`` function, so one consistent
@@ -31,7 +38,12 @@ from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import QueueFullError, ServeError, ValidationError
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ValidationError,
+)
 from repro.obs import trace
 from repro.serve.stats import ServeStats
 
@@ -114,7 +126,10 @@ class MicroBatcher:
         self.predict_rows = predict_rows
         self.policy = policy or BatchPolicy()
         self.stats = stats
-        self._pending: List[Tuple[np.ndarray, asyncio.Future]] = []
+        # Entries are (row, future, deadline, enqueue_time); deadline is an
+        # absolute time.monotonic() instant or None (never expires).
+        self._pending: List[Tuple[np.ndarray, asyncio.Future,
+                                  Optional[float], float]] = []
         self._wakeup: Optional[asyncio.Event] = None
         self._task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -149,14 +164,18 @@ class MicroBatcher:
 
     # -- submission ------------------------------------------------------------
 
-    def submit_nowait(self, row: np.ndarray) -> asyncio.Future:
+    def submit_nowait(
+        self, row: np.ndarray, deadline: Optional[float] = None
+    ) -> asyncio.Future:
         """Queue one point; return the future resolving to ``(label, extra)``.
 
         The no-coroutine fast path: callers fanning out many rows at once
         (load generators, in-process benchmarks) avoid one coroutine object
         and one scheduling hop per request. Raises :class:`QueueFullError`
         immediately when the pending queue is at capacity (backpressure),
-        and :class:`ServeError` if the batcher is not running.
+        and :class:`ServeError` if the batcher is not running. ``deadline``
+        is an absolute ``time.monotonic()`` instant after which the row is
+        shed at flush time instead of labeled.
         """
         if self._task is None or self._stopping:
             raise ServeError("batcher is not running")
@@ -173,13 +192,13 @@ class MicroBatcher:
             )
         assert self._loop is not None and self._wakeup is not None
         fut = self._loop.create_future()
-        self._pending.append((row, fut))
+        self._pending.append((row, fut, deadline, time.monotonic()))
         self._wakeup.set()
         return fut
 
-    async def submit(self, row: np.ndarray):
+    async def submit(self, row: np.ndarray, deadline: Optional[float] = None):
         """Queue one point; await ``(label, extra)`` from its flush."""
-        return await self.submit_nowait(row)
+        return await self.submit_nowait(row, deadline=deadline)
 
     # -- worker ---------------------------------------------------------------
 
@@ -196,7 +215,7 @@ class MicroBatcher:
             # submit() raises instead of enqueueing rows nobody will flush.
             self._crashed = exc
             pending, self._pending = self._pending, []
-            for _, fut in pending:
+            for _, fut, _, _ in pending:
                 if not fut.done():
                     fut.set_exception(
                         ServeError(f"batcher worker crashed: {exc!r}")
@@ -251,21 +270,60 @@ class MicroBatcher:
                 # _flush failing is a bug (it confines per-batch errors
                 # itself) — but this batch is already popped, so fail its
                 # futures here before the crash wrapper handles the rest.
-                for _, fut in batch:
+                for _, fut, _, _ in batch:
                     if not fut.done():
                         fut.set_exception(
                             ServeError(f"batcher worker crashed: {exc!r}")
                         )
                 raise
 
-    def _flush(self, batch: List[Tuple[np.ndarray, asyncio.Future]]) -> None:
+    def _shed_expired(
+        self,
+        batch: List[Tuple[np.ndarray, asyncio.Future, Optional[float], float]],
+    ) -> List[Tuple[np.ndarray, asyncio.Future, Optional[float], float]]:
+        """Record queue-wait for every entry; shed the expired ones.
+
+        Returns the still-live entries. Runs *before* the model call, so an
+        expired row never burns model time and its caller gets an explicit
+        :class:`DeadlineExceededError` instead of a label it no longer
+        wants (or a hung future).
+        """
+        now = time.monotonic()
+        live = []
+        for entry in batch:
+            _, fut, deadline, t_enq = entry
+            if self.stats is not None:
+                self.stats.record_queue_wait(now - t_enq)
+            if deadline is not None and now > deadline:
+                if not fut.done():
+                    fut.set_exception(
+                        DeadlineExceededError(
+                            "deadline expired while queued "
+                            f"({(now - t_enq) * 1e3:.1f} ms in queue)"
+                        )
+                    )
+                if self.stats is not None:
+                    self.stats.record_deadline_expired("queue")
+            else:
+                live.append(entry)
+        return live
+
+    def _flush(
+        self,
+        batch: List[Tuple[np.ndarray, asyncio.Future, Optional[float], float]],
+    ) -> None:
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
         t0 = time.perf_counter()
         try:
             # Stacking is inside the try: mismatched row lengths (callers
             # bypassing the server's per-row validation) must reject this
             # batch's futures, not kill the worker task.
             with trace.span("flush"):
-                rows = np.asarray([row for row, _ in batch], dtype=np.float64)
+                rows = np.asarray(
+                    [row for row, _, _, _ in batch], dtype=np.float64
+                )
                 raw_labels, extra = self.predict_rows(rows)
                 labels = [int(v) for v in raw_labels]
             if len(labels) != len(batch):
@@ -274,7 +332,7 @@ class MicroBatcher:
                     f"for {len(batch)} rows"
                 )
         except Exception as exc:
-            for _, fut in batch:
+            for _, fut, _, _ in batch:
                 if not fut.done():
                     fut.set_exception(exc)
             if self.stats is not None:
@@ -283,7 +341,7 @@ class MicroBatcher:
         service_s = time.perf_counter() - t0
         # Resolve futures before stats bookkeeping: a stats failure must
         # never strand a batch that was already labeled successfully.
-        for (_, fut), label in zip(batch, labels):
+        for (_, fut, _, _), label in zip(batch, labels):
             if not fut.done():
                 fut.set_result((label, extra))
         if self.stats is not None:

@@ -22,7 +22,13 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import QueueFullError, ServeError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ShedError,
+)
 from repro.obs import default_registry
 
 __all__ = ["ServeClient", "AsyncServeClient", "PredictResult"]
@@ -37,7 +43,28 @@ IDEMPOTENT_OPS = frozenset({"predict", "model-info", "stats", "healthz",
 
 
 class _ConnectionLost(ServeError):
-    """Transport-level failure (refused/reset/closed) — retry candidate."""
+    """Transport-level failure — retry candidate on idempotent ops.
+
+    ``reason`` distinguishes *why* the connection broke (``timeout`` /
+    ``reset`` / ``closed`` / ``refused``) so retries are counted under
+    distinct ``serve_client_retries_total`` label values — a fleet
+    retrying on timeouts (overload) looks very different from one
+    retrying on resets (crashing servers).
+    """
+
+    def __init__(self, message: str, reason: str = "reset"):
+        super().__init__(message)
+        self.reason = reason
+
+
+def _lost_reason(exc: OSError) -> str:
+    if isinstance(exc, socket.timeout):
+        return "timeout"
+    if isinstance(exc, (ConnectionResetError, BrokenPipeError)):
+        return "reset"
+    if isinstance(exc, ConnectionRefusedError):
+        return "refused"
+    return "reset"
 
 
 class PredictResult:
@@ -69,9 +96,23 @@ def _as_payload(x: Union[np.ndarray, Sequence[float]]) -> Any:
     return arr.tolist()
 
 
+#: Wire ``err`` code → typed client-side exception. Codes the client does
+#: not know fall through to the generic handling below, so old clients
+#: keep working against newer servers.
+_ERR_TYPES = {
+    "queue_full": QueueFullError,
+    "shed": ShedError,
+    "deadline_exceeded": DeadlineExceededError,
+    "circuit_open": CircuitOpenError,
+}
+
+
 def _raise_on_error(response: Dict[str, Any]) -> Dict[str, Any]:
     if not response.get("ok"):
         message = response.get("error", "unknown server error")
+        exc_type = _ERR_TYPES.get(response.get("err"))
+        if exc_type is not None:
+            raise exc_type(message)
         if response.get("retryable"):
             raise QueueFullError(message)
         raise ServeError(message)
@@ -96,12 +137,14 @@ class ServeClient:
 
     With ``retries > 0``, *idempotent* operations (:data:`IDEMPOTENT_OPS`)
     transparently reconnect and retry on connection-refused / reset /
-    server-closed failures, sleeping an exponentially growing, jittered
-    backoff between attempts. ``reload`` and ``shutdown`` are never
-    retried: after an ambiguous failure the request may already have been
-    applied, and replaying a mutation is worse than surfacing the error.
-    Retries are counted in the obs registry
-    (``serve_client_retries_total{op}``).
+    timed-out / server-closed failures — including a connection that dies
+    *mid-response*, which is safe precisely because these ops are
+    idempotent. ``reload`` and ``shutdown`` are never retried: after an
+    ambiguous failure the request may already have been applied, and
+    replaying a mutation is worse than surfacing the error. Retries are
+    counted in the obs registry
+    (``serve_client_retries_total{op,reason}``), with timeouts and resets
+    under distinct ``reason`` values.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
@@ -135,7 +178,8 @@ class ServeClient:
                                                   timeout=self.timeout)
         except OSError as exc:
             raise _ConnectionLost(
-                f"cannot connect to {self.host}:{self.port}: {exc}"
+                f"cannot connect to {self.host}:{self.port}: {exc}",
+                reason=_lost_reason(exc),
             ) from exc
         self._file = self._sock.makefile("rwb")
 
@@ -161,10 +205,20 @@ class ServeClient:
             line = self._file.readline()
         except OSError as exc:
             self._teardown()
-            raise _ConnectionLost(f"connection to server lost: {exc}") from exc
+            raise _ConnectionLost(
+                f"connection to server lost: {exc}", reason=_lost_reason(exc)
+            ) from exc
         if not line:
             self._teardown()
-            raise _ConnectionLost("server closed the connection")
+            raise _ConnectionLost("server closed the connection",
+                                  reason="closed")
+        if not line.endswith(b"\n"):
+            # A partial line means the connection died mid-response —
+            # feeding the fragment to json.loads would surface a decode
+            # error and (worse) skip the retry path on idempotent ops.
+            self._teardown()
+            raise _ConnectionLost("server closed the connection mid-response",
+                                  reason="reset")
         return json.loads(line)
 
     def _backoff_sleep(self, attempt: int) -> None:
@@ -180,7 +234,7 @@ class ServeClient:
         while True:
             try:
                 return call()
-            except _ConnectionLost:
+            except _ConnectionLost as exc:
                 if attempt >= self.retries:
                     raise
                 self._backoff_sleep(attempt)
@@ -190,9 +244,9 @@ class ServeClient:
                     reg.counter(
                         "serve_client_retries_total",
                         "Idempotent serve-client requests retried after a "
-                        "connection failure, by operation.",
-                        ("op",),
-                    ).labels(op=op).inc()
+                        "connection failure, by operation and failure kind.",
+                        ("op", "reason"),
+                    ).labels(op=op, reason=exc.reason).inc()
 
     def _request_idempotent(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         op = str(payload["op"])
@@ -217,9 +271,15 @@ class ServeClient:
 
     # -- operations ------------------------------------------------------------
 
-    def predict(self, x: Union[np.ndarray, Sequence[float]]) -> PredictResult:
-        response = _raise_on_error(self._request_idempotent(
-            {"op": "predict", "x": _as_payload(x)}))
+    def predict(
+        self,
+        x: Union[np.ndarray, Sequence[float]],
+        deadline_ms: Optional[float] = None,
+    ) -> PredictResult:
+        payload: Dict[str, Any] = {"op": "predict", "x": _as_payload(x)}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        response = _raise_on_error(self._request_idempotent(payload))
         return _predict_result(response)
 
     def model_info(self) -> Dict[str, Any]:
@@ -276,13 +336,19 @@ class AsyncServeClient:
             self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
             await self._writer.drain()
             line = await self._reader.readline()
-        if not line:
+        if not line or not line.endswith(b"\n"):
             raise ServeError("server closed the connection")
         return json.loads(line)
 
-    async def predict(self, x: Union[np.ndarray, Sequence[float]]) -> PredictResult:
-        response = _raise_on_error(await self.request({"op": "predict",
-                                                       "x": _as_payload(x)}))
+    async def predict(
+        self,
+        x: Union[np.ndarray, Sequence[float]],
+        deadline_ms: Optional[float] = None,
+    ) -> PredictResult:
+        payload: Dict[str, Any] = {"op": "predict", "x": _as_payload(x)}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        response = _raise_on_error(await self.request(payload))
         return _predict_result(response)
 
     async def healthz(self) -> Dict[str, Any]:

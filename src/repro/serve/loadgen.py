@@ -14,6 +14,13 @@ Two canonical traffic shapes from the serving literature:
 Both record per-request latency, failures, and the set of model versions
 observed, so a hot-swap test can assert "zero failed requests and every
 response labeled by exactly one version, old or new".
+
+Failures are bucketed by *outcome* — ``shed``, ``deadline_exceeded``,
+``circuit_open``, ``queue_full``, ``timeout``, ``error`` — because an
+overload benchmark needs to assert that the server degraded the intended
+way (explicit shedding) rather than the pathological way (client
+timeouts). A report that lumped them together could not tell the two
+apart.
 """
 
 from __future__ import annotations
@@ -25,12 +32,39 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ShedError,
+)
 from repro.serve.client import AsyncServeClient
 from repro.serve.stats import quantiles
 from repro.util.validation import check_array_2d
 
 __all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+
+#: Outcome buckets, in render order. ``ok`` first; the rest are failures.
+OUTCOMES = (
+    "ok", "shed", "deadline_exceeded", "circuit_open", "queue_full",
+    "timeout", "error",
+)
+
+
+def _classify(exc: BaseException) -> str:
+    """Map one request failure to its outcome bucket."""
+    if isinstance(exc, ShedError):
+        return "shed"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded"
+    if isinstance(exc, CircuitOpenError):
+        return "circuit_open"
+    if isinstance(exc, QueueFullError):
+        return "queue_full"
+    if isinstance(exc, asyncio.TimeoutError):
+        return "timeout"
+    return "error"
 
 
 @dataclass
@@ -45,20 +79,36 @@ class LoadReport:
     latencies_s: List[float] = field(default_factory=list)
     versions_seen: Set[int] = field(default_factory=set)
     errors: List[str] = field(default_factory=list)
+    outcomes: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in OUTCOMES}
+    )
 
     @property
     def throughput_rps(self) -> float:
         return self.requests_ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def shed_total(self) -> int:
+        """Explicit server-side rejections (the *intended* overload path)."""
+        return (
+            self.outcomes["shed"]
+            + self.outcomes["deadline_exceeded"]
+            + self.outcomes["circuit_open"]
+            + self.outcomes["queue_full"]
+        )
 
     def latency_quantiles(self) -> Dict[str, float]:
         return quantiles(self.latencies_s)
 
     def render(self) -> str:
         q = self.latency_quantiles()
+        shown = {k: v for k, v in self.outcomes.items() if v}
         lines = [
             f"loadgen ({self.mode} loop)",
             f"  requests: {self.requests_ok} ok / {self.requests_failed} failed "
             f"of {self.requests_sent} in {self.duration_s:.3f}s",
+            f"  outcomes: "
+            + "  ".join(f"{k}={shown[k]}" for k in OUTCOMES if k in shown),
             f"  throughput: {self.throughput_rps:,.0f} req/s",
             f"  latency: p50={q['p50'] * 1e3:.2f}ms  p90={q['p90'] * 1e3:.2f}ms  "
             f"p99={q['p99'] * 1e3:.2f}ms",
@@ -68,6 +118,17 @@ class LoadReport:
             lines.append(f"  first errors: {self.errors[:3]}")
         return "\n".join(lines)
 
+    def _record_ok(self, latency_s: float, version: int) -> None:
+        self.requests_ok += 1
+        self.outcomes["ok"] += 1
+        self.latencies_s.append(latency_s)
+        self.versions_seen.add(version)
+
+    def _record_failure(self, exc: BaseException) -> None:
+        self.requests_failed += 1
+        self.outcomes[_classify(exc)] += 1
+        self.errors.append(str(exc) or type(exc).__name__)
+
 
 def _request_pool(points: np.ndarray) -> np.ndarray:
     points = check_array_2d(points, "points")
@@ -76,12 +137,54 @@ def _request_pool(points: np.ndarray) -> np.ndarray:
     return np.asarray(points, dtype=np.float64)
 
 
+async def _send_one(
+    client: AsyncServeClient,
+    row: np.ndarray,
+    report: LoadReport,
+    deadline_ms: Optional[float],
+    request_timeout_s: Optional[float],
+) -> None:
+    """One request → exactly one report entry (ok or bucketed failure)."""
+    report.requests_sent += 1
+    t0 = time.perf_counter()
+    try:
+        coro = client.predict(row, deadline_ms=deadline_ms)
+        if request_timeout_s is not None:
+            result = await asyncio.wait_for(coro, request_timeout_s)
+        else:
+            result = await coro
+    except asyncio.TimeoutError as exc:
+        report._record_failure(exc)
+        # The response may still arrive later and desync this pipelined
+        # connection; drop it and reconnect before the next request.
+        await client.close()
+        try:
+            await client.connect()
+        except ServeError:
+            pass  # next send will fail and be bucketed as "error"
+    except OSError as exc:
+        # Transport died under us (e.g. the server hard-closed during a
+        # drain cutoff). Still exactly one terminal outcome per request.
+        report._record_failure(exc)
+        await client.close()
+        try:
+            await client.connect()
+        except ServeError:
+            pass
+    except ServeError as exc:
+        report._record_failure(exc)
+    else:
+        report._record_ok(time.perf_counter() - t0, result.version)
+
+
 async def _closed_loop_async(
     host: str,
     port: int,
     points: np.ndarray,
     n_requests: int,
     n_clients: int,
+    deadline_ms: Optional[float],
+    request_timeout_s: Optional[float],
 ) -> LoadReport:
     report = LoadReport(mode="closed")
     pool = _request_pool(points)
@@ -97,17 +200,8 @@ async def _closed_loop_async(
                     return
                 counter["next"] = i + 1
                 row = pool[i % pool.shape[0]]
-                report.requests_sent += 1
-                t0 = time.perf_counter()
-                try:
-                    result = await client.predict(row)
-                except ServeError as exc:
-                    report.requests_failed += 1
-                    report.errors.append(str(exc))
-                else:
-                    report.requests_ok += 1
-                    report.latencies_s.append(time.perf_counter() - t0)
-                    report.versions_seen.add(result.version)
+                await _send_one(client, row, report, deadline_ms,
+                                request_timeout_s)
         finally:
             await client.close()
 
@@ -124,6 +218,8 @@ async def _open_loop_async(
     rate: float,
     duration_s: float,
     n_connections: int,
+    deadline_ms: Optional[float],
+    request_timeout_s: Optional[float],
 ) -> LoadReport:
     report = LoadReport(mode="open")
     pool = _request_pool(points)
@@ -133,19 +229,6 @@ async def _open_loop_async(
     for client in clients:
         await client.connect()
     in_flight: List[asyncio.Task] = []
-
-    async def fire(row: np.ndarray, client: AsyncServeClient) -> None:
-        report.requests_sent += 1
-        t0 = time.perf_counter()
-        try:
-            result = await client.predict(row)
-        except ServeError as exc:
-            report.requests_failed += 1
-            report.errors.append(str(exc))
-        else:
-            report.requests_ok += 1
-            report.latencies_s.append(time.perf_counter() - t0)
-            report.versions_seen.add(result.version)
 
     interval = 1.0 / rate
     t_start = time.perf_counter()
@@ -163,7 +246,9 @@ async def _open_loop_async(
                 await asyncio.sleep(delay)
             row = pool[i % pool.shape[0]]
             client = clients[i % len(clients)]
-            in_flight.append(asyncio.ensure_future(fire(row, client)))
+            in_flight.append(asyncio.ensure_future(
+                _send_one(client, row, report, deadline_ms, request_timeout_s)
+            ))
             i += 1
         if in_flight:
             await asyncio.gather(*in_flight)
@@ -180,10 +265,19 @@ def run_closed_loop(
     points: np.ndarray,
     n_requests: int = 1000,
     n_clients: int = 16,
+    deadline_ms: Optional[float] = None,
+    request_timeout_s: Optional[float] = None,
 ) -> LoadReport:
-    """Closed-loop run: ``n_clients`` users, one outstanding request each."""
+    """Closed-loop run: ``n_clients`` users, one outstanding request each.
+
+    ``deadline_ms`` attaches a latency budget to every request (the server
+    sheds expired work explicitly); ``request_timeout_s`` is the client's
+    own patience, after which the request counts as ``timeout`` — a
+    healthy overload run has many ``shed`` and zero ``timeout`` outcomes.
+    """
     return asyncio.run(
-        _closed_loop_async(host, port, points, n_requests, n_clients)
+        _closed_loop_async(host, port, points, n_requests, n_clients,
+                           deadline_ms, request_timeout_s)
     )
 
 
@@ -194,8 +288,11 @@ def run_open_loop(
     rate: float = 2000.0,
     duration_s: float = 1.0,
     n_connections: int = 16,
+    deadline_ms: Optional[float] = None,
+    request_timeout_s: Optional[float] = None,
 ) -> LoadReport:
     """Open-loop run: fire ``rate`` req/s for ``duration_s`` seconds."""
     return asyncio.run(
-        _open_loop_async(host, port, points, rate, duration_s, n_connections)
+        _open_loop_async(host, port, points, rate, duration_s, n_connections,
+                         deadline_ms, request_timeout_s)
     )

@@ -5,6 +5,7 @@ per line, one response per line::
 
     {"op": "predict", "x": [0.1, 0.2, ...]}          # single point
     {"op": "predict", "x": [[...], [...]]}           # batch of points
+    {"op": "predict", "x": [...], "deadline_ms": 50} # with latency budget
     {"op": "model-info"}
     {"op": "stats"}
     {"op": "metrics"}                                # Prometheus text + JSON
@@ -18,7 +19,14 @@ otherwise load arbitrary files or stop the process.
 
 Responses always carry ``"ok"``; predict responses carry ``"labels"``,
 ``"version"`` and ``"fingerprint"`` — the exact model version that
-labeled the points, which stays meaningful across hot-swaps.
+labeled the points, which stays meaningful across hot-swaps. Failure
+responses from the overload machinery additionally carry a short ``"err"``
+code (``shed`` / ``deadline_exceeded`` / ``circuit_open`` /
+``queue_full``) so clients classify outcomes without parsing messages.
+
+Only ``predict`` consults admission control; every other op is a priority
+lane that bypasses shedding, so health checks, metric scrapes and admin
+intervention keep working on a server that is actively shedding load.
 
 Single-point predicts flow through the :class:`MicroBatcher`, so many
 concurrent clients coalesce into vectorized model calls. Multi-point
@@ -39,13 +47,26 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.model import KeyBin2Model
-from repro.errors import QueueFullError, ServeError, ValidationError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ShedError,
+    ValidationError,
+)
 from repro.obs import (
     default_registry,
     ensure_core_series,
     render_json,
     render_prometheus,
     trace,
+)
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    CircuitBreaker,
+    resolve_deadline,
 )
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import LabelCache
@@ -132,6 +153,20 @@ class ModelServer:
         only on loopback binds; pass ``True`` to enable them on an
         exposed ``host`` (put real auth in front first) or ``False`` to
         disable them everywhere.
+    admission:
+        :class:`AdmissionPolicy` gating ``predict`` requests (rate,
+        in-flight bound, deadline defaults). The default admits
+        everything. Only ``predict`` consults admission — ``healthz``,
+        ``metrics``, ``stats``, ``model-info`` and the admin ops always
+        bypass shedding, so an overloaded server stays observable and
+        manageable.
+    circuit_threshold, circuit_cooldown_s:
+        Circuit-breaker knobs: trip open after this many *consecutive*
+        model errors; half-open one probe after the cooldown.
+    drain_s:
+        Hard cutoff on the graceful drain in :meth:`stop`: after this
+        long, remaining in-flight requests are abandoned and the batcher
+        is stopped anyway.
     """
 
     _LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
@@ -144,6 +179,10 @@ class ModelServer:
         policy: Optional[BatchPolicy] = None,
         cache_size: int = 65536,
         allow_admin: Optional[bool] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        circuit_threshold: int = 5,
+        circuit_cooldown_s: float = 1.0,
+        drain_s: float = 5.0,
     ):
         self.registry = registry
         self.host = host
@@ -158,8 +197,15 @@ class ModelServer:
         self.batcher = MicroBatcher(
             self.service.predict_rows, self.policy, stats=self.stats
         )
+        self.admission = AdmissionController(admission, stats=self.stats)
+        self.circuit = CircuitBreaker(
+            circuit_threshold, circuit_cooldown_s, stats=self.stats
+        )
+        self.drain_s = float(drain_s)
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        self._busy = 0  # requests between dispatch start and response write
         self.bound_port: Optional[int] = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -182,12 +228,30 @@ class ModelServer:
         await self._shutdown.wait()
         await self.stop()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_s: Optional[float] = None) -> None:
+        """Graceful drain: stop admitting, finish in-flight work, close.
+
+        New ``predict`` requests are shed with reason ``draining`` the
+        moment this is called; requests already admitted keep flowing and
+        get their terminal responses. After ``drain_s`` (hard cutoff) the
+        remaining work is abandoned: the batcher's own stop still flushes
+        whatever it queued, so futures never hang — their responses just
+        race the connection close.
+        """
         if self._server is None:
             return
-        self._server.close()
+        self.admission.start_draining()
+        self._server.close()  # no new connections
         await self._server.wait_closed()
-        await self.batcher.stop()
+        cutoff = time.monotonic() + (self.drain_s if drain_s is None else drain_s)
+        while (
+            (self.admission.in_flight > 0 or self._busy > 0)
+            and time.monotonic() < cutoff
+        ):
+            await asyncio.sleep(0.005)
+        await self.batcher.stop()  # flushes anything still pending
+        for writer in list(self._writers):
+            writer.close()
         self._server = None
         if self._shutdown is not None:
             self._shutdown.set()
@@ -197,20 +261,29 @@ class ModelServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 line = await reader.readline()
                 if not line:
                     break
-                response = await self._dispatch(line)
-                stop_after = response.pop("_shutdown", False)
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
+                # _busy covers dispatch through response write, so a drain
+                # only proceeds once every accepted request has had its
+                # terminal response flushed to the socket.
+                self._busy += 1
+                try:
+                    response = await self._dispatch(line)
+                    stop_after = response.pop("_shutdown", False)
+                    writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                    await writer.drain()
+                finally:
+                    self._busy -= 1
                 if stop_after:
                     break
         except (ConnectionResetError, BrokenPipeError):  # client vanished
             pass
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -253,8 +326,20 @@ class ModelServer:
                 return {"ok": True, "stopping": True, "_shutdown": True}
             self.stats.record_error()
             return {"ok": False, "error": f"unknown op {op!r}"}
-        except QueueFullError as exc:
-            return {"ok": False, "error": str(exc), "retryable": True}
+        except (QueueFullError, ShedError, CircuitOpenError) as exc:
+            # Overload rejections: explicit, typed, retryable (against a
+            # replica or after backoff) — and deliberately NOT counted as
+            # server errors; shedding is the intended behavior.
+            return {
+                "ok": False,
+                "error": str(exc),
+                "err": exc.code,
+                "retryable": True,
+            }
+        except DeadlineExceededError as exc:
+            # Not retryable as-is: the client's budget is spent. A fresh
+            # request with a fresh deadline is the client's call.
+            return {"ok": False, "error": str(exc), "err": exc.code}
         except (ServeError, ValidationError) as exc:
             self.stats.record_error()
             return {"ok": False, "error": str(exc)}
@@ -273,7 +358,36 @@ class ModelServer:
             rows = rows[None, :]
         if rows.ndim != 2 or rows.shape[0] == 0:
             raise ValidationError("'x' must be one point or a non-empty batch")
-        self.stats.record_request(rows.shape[0])
+        # Deadline parsing happens before admission: a garbage deadline is
+        # a client bug (ValidationError), not an overload signal, and must
+        # not consume a token.
+        deadline = resolve_deadline(request, self.admission.policy)
+        self.admission.try_admit()  # ShedError under overload / drain
+        try:
+            self.stats.record_request(rows.shape[0])
+            self.circuit.allow()  # CircuitOpenError while tripped
+            try:
+                labels, record = await self._predict_admitted(rows, deadline)
+            except (ValidationError, DeadlineExceededError, QueueFullError):
+                # Says nothing about model health — free any probe slot
+                # without moving the breaker.
+                self.circuit.record_neutral()
+                raise
+            except Exception:
+                self.circuit.record_failure()
+                raise
+            self.circuit.record_success()
+        finally:
+            self.admission.release()
+        return {
+            "ok": True,
+            "labels": labels,
+            "version": record.version,
+            "fingerprint": record.fingerprint,
+        }
+
+    async def _predict_admitted(self, rows: np.ndarray, deadline):
+        """Model-call half of predict; runs with an admission slot held."""
         if rows.shape[0] == 1:
             # Validate the lone row before it enters the micro-batcher: it
             # shares a flush (one stacked matrix, one model call) with other
@@ -287,34 +401,36 @@ class ModelServer:
                 raise ValidationError(
                     "'x' contains non-finite value(s) (NaN/Inf)"
                 )
-            label, record = await self.batcher.submit(rows[0])
-            labels = [label]
-        else:
-            # Pre-batched request: vectorize directly, skip the linger.
-            t0 = time.perf_counter()
-            arr, record = self.service.predict_rows(rows)
-            self.stats.record_batch(
-                rows.shape[0], time.perf_counter() - t0, record.version
-            )
-            labels = [int(v) for v in arr]
-        return {
-            "ok": True,
-            "labels": labels,
-            "version": record.version,
-            "fingerprint": record.fingerprint,
-        }
+            label, record = await self.batcher.submit(rows[0], deadline=deadline)
+            return [label], record
+        # Pre-batched request: vectorize directly, skip the linger. The
+        # batcher never sees it, so check the deadline here at dispatch.
+        if deadline is not None and time.monotonic() > deadline:
+            self.stats.record_deadline_expired("arrival")
+            raise DeadlineExceededError("deadline expired before dispatch")
+        t0 = time.perf_counter()
+        arr, record = self.service.predict_rows(rows)
+        self.stats.record_batch(
+            rows.shape[0], time.perf_counter() - t0, record.version
+        )
+        return [int(v) for v in arr], record
 
     def _op_healthz(self) -> Dict[str, Any]:
         record = self.registry.current_or_none()
         # version + fingerprint let a scraper correlate health samples with
         # metrics series across hot-swaps (the registry tracks versions).
+        status = "serving" if record is not None else "no-model"
+        if self.admission.draining:
+            status = "draining"
         return {
             "ok": True,
-            "status": "serving" if record is not None else "no-model",
+            "status": status,
             "version": None if record is None else record.version,
             "fingerprint": None if record is None else record.fingerprint,
             "uptime_s": round(self.stats.uptime_s, 3),
             "queue_depth": self.batcher.queue_depth,
+            "in_flight": self.admission.in_flight,
+            "circuit": self.circuit.state,
         }
 
     async def _op_reload(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -341,6 +457,9 @@ class ModelServer:
         payload = self.stats.snapshot()
         payload["cache"] = self.cache.snapshot()
         payload["queue_depth"] = self.batcher.queue_depth
+        payload["in_flight"] = self.admission.in_flight
+        payload["draining"] = self.admission.draining
+        payload["circuit_state"] = self.circuit.state
         payload["registry"] = self.registry.info()
         record = self.registry.current_or_none()
         payload["model_version"] = None if record is None else record.version
@@ -411,6 +530,10 @@ def serve_in_thread(
     cache_size: int = 65536,
     startup_timeout: float = 10.0,
     allow_admin: Optional[bool] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    circuit_threshold: int = 5,
+    circuit_cooldown_s: float = 1.0,
+    drain_s: float = 5.0,
 ) -> ServerHandle:
     """Start a :class:`ModelServer` on a background thread; block until bound.
 
@@ -421,7 +544,11 @@ def serve_in_thread(
             ...
     """
     server = ModelServer(registry, host=host, port=port, policy=policy,
-                         cache_size=cache_size, allow_admin=allow_admin)
+                         cache_size=cache_size, allow_admin=allow_admin,
+                         admission=admission,
+                         circuit_threshold=circuit_threshold,
+                         circuit_cooldown_s=circuit_cooldown_s,
+                         drain_s=drain_s)
     started = threading.Event()
     failure: Dict[str, BaseException] = {}
     loop_holder: Dict[str, asyncio.AbstractEventLoop] = {}

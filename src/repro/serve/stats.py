@@ -100,6 +100,35 @@ class ServeStats:
             "Points labeled per model version (correlates across hot-swaps).",
             ("version",),
         )
+        self._shed = reg.counter(
+            "serve_shed_total",
+            "Predict requests shed by admission control, by reason "
+            "(rate / in_flight / draining).",
+            ("reason",),
+        )
+        self._deadline_expired = reg.counter(
+            "serve_deadline_expired_total",
+            "Predict requests whose deadline expired before labeling, by "
+            "where the expiry was detected (arrival / queue).",
+            ("where",),
+        )
+        self._queue_wait = reg.histogram(
+            "serve_queue_wait_seconds",
+            "Time a row spent in the micro-batch queue between submit and "
+            "flush (or deadline shed).",
+        )
+        self._circuit_trips = reg.counter(
+            "serve_circuit_open_total",
+            "Times the server-side circuit breaker tripped open.",
+        )
+        reg.gauge(
+            "serve_circuit_state",
+            "Circuit breaker state (0=closed, 1=half-open, 2=open).",
+        )
+        reg.gauge(
+            "serve_in_flight",
+            "Admitted predict requests currently being served.",
+        )
         reg.gauge("serve_uptime_seconds", "Seconds since this stats instance started.")
 
     # -- hot-path recording --------------------------------------------------
@@ -123,6 +152,24 @@ class ServeStats:
         self._max_batch.set_max(size)
         self._by_version.labels(version=version).inc(size)
 
+    def record_shed(self, reason: str) -> None:
+        self._shed.labels(reason=reason).inc()
+
+    def record_deadline_expired(self, where: str) -> None:
+        self._deadline_expired.labels(where=where).inc()
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self._queue_wait.observe(float(seconds))
+
+    def record_circuit_trip(self) -> None:
+        self._circuit_trips.inc()
+
+    def set_circuit_state(self, code: int) -> None:
+        self.registry.gauge("serve_circuit_state").set(code)
+
+    def set_in_flight(self, n: int) -> None:
+        self.registry.gauge("serve_in_flight").set(n)
+
     # -- legacy attribute surface ---------------------------------------------
 
     @property
@@ -140,6 +187,24 @@ class ServeStats:
     @property
     def rejected_total(self) -> int:
         return int(self._rejected.value)
+
+    @property
+    def shed_total(self) -> int:
+        samples = self._shed.snapshot()["samples"]
+        return int(sum(s["value"] for s in samples))
+
+    @property
+    def shed_by_reason(self) -> Dict[str, int]:
+        samples = self._shed.snapshot()["samples"]
+        return {
+            s["labels"]["reason"]: int(s["value"])
+            for s in samples if s["value"]
+        }
+
+    @property
+    def deadline_expired_total(self) -> int:
+        samples = self._deadline_expired.snapshot()["samples"]
+        return int(sum(s["value"] for s in samples))
 
     @property
     def batches_total(self) -> int:
@@ -191,12 +256,23 @@ class ServeStats:
         uptime = self.uptime_s
         self.registry.gauge("serve_uptime_seconds").set(uptime)
         hist = self.batch_size_hist
+        wait = self._queue_wait.snapshot()["samples"][0]
+        wait_count = int(wait["count"])
         return {
             "uptime_s": round(uptime, 3),
             "requests_total": self.requests_total,
             "points_total": self.points_total,
             "errors_total": self.errors_total,
             "rejected_total": self.rejected_total,
+            "shed_total": self.shed_total,
+            "shed_by_reason": self.shed_by_reason,
+            "deadline_expired_total": self.deadline_expired_total,
+            "queue_wait": {
+                "count": wait_count,
+                "mean_ms": round(wait["sum"] / wait_count * 1e3, 3)
+                if wait_count else 0.0,
+            },
+            "circuit_trips_total": int(self._circuit_trips.value),
             "throughput_rps": round(self.requests_total / uptime, 1)
             if uptime > 0 else 0.0,
             "batches_total": self.batches_total,

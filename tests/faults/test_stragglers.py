@@ -1,0 +1,146 @@
+"""Straggler tolerance: slow ≠ dead.
+
+The invariant: a rank that is merely *slow* — below the hard failure
+deadline — must never be declared failed, so a straggler run ends
+bit-identical to a fault-free one (zero recoveries, zero frames lost).
+A rank that is genuinely dead must still be detected at the hard
+deadline, pings or no pings.
+
+The unit tests drive :class:`MailboxComm` directly to pin the mechanism:
+a suspicion timeout turns a stalled receive into PING probes; a PONG from
+the awaited peer (possible only while that peer is itself blocked in a
+receive) extends the hard deadline, which is exactly what stops *cascade*
+false positives — B waiting on a live A that is itself stuck behind a
+slow C.
+"""
+
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.faults import FaultPlan, SlowRank
+from repro.comm.mailbox import MailboxComm
+from repro.errors import CommError, RankFailedError
+from tests.faults.test_chaos_recovery import _run, _split, _trajs
+
+
+def _mailbox_pair(n, timeout, suspicion):
+    inboxes = [queue.SimpleQueue() for _ in range(n)]
+    return [
+        MailboxComm(r, n, inboxes, timeout=timeout,
+                    suspicion_timeout=suspicion)
+        for r in range(n)
+    ]
+
+
+class TestSuspicionMechanism:
+    def test_bad_suspicion_timeout_rejected(self):
+        with pytest.raises(CommError):
+            MailboxComm(0, 1, [queue.SimpleQueue()], suspicion_timeout=0.0)
+
+    def test_slow_sender_below_hard_deadline_is_waited_out(self):
+        """Message arriving after the suspicion deadline but before the
+        hard one is received normally, and the episode is counted."""
+        comms = _mailbox_pair(2, timeout=5.0, suspicion=0.05)
+        out = {}
+
+        def slow_sender():
+            time.sleep(0.3)
+            comms[1].send("late", dest=0, tag=7)
+
+        t = threading.Thread(target=slow_sender)
+        t.start()
+        out["msg"] = comms[0].recv(source=1, tag=7)
+        t.join()
+        assert out["msg"] == "late"
+        assert comms[0].straggler_waits >= 1
+        assert comms[0].straggler_wait_s > 0.0
+
+    def test_dead_peer_still_fails_at_hard_deadline(self):
+        """A peer that never sends and never answers pings is declared
+        failed (unconfirmed) at the hard deadline — suspicion must not
+        weaken dead-rank detection."""
+        comms = _mailbox_pair(2, timeout=0.4, suspicion=0.05)
+        t0 = time.monotonic()
+        with pytest.raises(RankFailedError) as info:
+            comms[0].recv(source=1, tag=7)
+        elapsed = time.monotonic() - t0
+        assert info.value.confirmed is False
+        assert info.value.rank == 1
+        # No pongs -> no extensions: failure lands near the hard deadline.
+        assert elapsed < 2.0
+
+    def test_pong_from_blocked_peer_prevents_cascade_false_positive(self):
+        """rank0 waits on rank1 (hard deadline 0.5 s); rank1 is alive but
+        blocked waiting on rank2, which wakes only after 1.2 s. Without
+        PING/PONG rank0 would evict the perfectly healthy rank1; with it,
+        rank1 answers probes from inside its own receive and rank0's hard
+        deadline keeps extending until the chain resolves."""
+        inboxes = [queue.SimpleQueue() for _ in range(3)]
+        c0 = MailboxComm(0, 3, inboxes, timeout=0.5, suspicion_timeout=0.1)
+        c1 = MailboxComm(1, 3, inboxes, timeout=5.0, suspicion_timeout=0.1)
+        c2 = MailboxComm(2, 3, inboxes, timeout=5.0)
+        out = {}
+        errors = []
+
+        def rank1():
+            try:
+                got = c1.recv(source=2, tag=1)  # blocked -> answers pings
+                c1.send(got + 1, dest=0, tag=2)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        def rank2():
+            time.sleep(1.2)  # well past rank0's unextended hard deadline
+            c2.send(10, dest=1, tag=1)
+
+        threads = [threading.Thread(target=rank1),
+                   threading.Thread(target=rank2)]
+        for t in threads:
+            t.start()
+        out["v"] = c0.recv(source=1, tag=2)
+        for t in threads:
+            t.join()
+        assert not errors
+        assert out["v"] == 11
+        assert c0.straggler_waits >= 1
+
+    def test_shrink_preserves_suspicion_and_straggler_accounting(self):
+        comms = _mailbox_pair(3, timeout=5.0, suspicion=0.25)
+        comms[0]._straggler["waits"] = 2
+        child = comms[0].shrink([0, 2])
+        assert child._suspicion_timeout == 0.25
+        assert child.straggler_waits == 2  # shared, cumulative
+        child._straggler["waits"] += 1
+        assert comms[0].straggler_waits == 3
+
+
+class TestStragglerExactness:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_slow_rank_below_hard_deadline_never_evicted(self, executor):
+        """`slow:1:0.2` with a hard deadline of 10 s: the run must finish
+        with zero recoveries and labels bit-identical to fault-free."""
+        trajs = _trajs(3)
+        plan = FaultPlan([SlowRank(1, seconds=0.2)])
+        results = _run(trajs, recover=True, faults=plan, timeout=10.0,
+                       suspicion_timeout=0.05, executor=executor)
+        survivors, failed = _split(results)
+        assert not failed
+        reference = _run(trajs, timeout=30.0)
+        for ref, (rank, res) in zip(reference, sorted(survivors.items())):
+            assert res.recoveries == 0
+            assert res.frames_lost == 0
+            assert res.n_clusters == ref.n_clusters
+            np.testing.assert_array_equal(res.labels, ref.labels)
+
+    def test_suspicion_disabled_matches_prior_behavior(self):
+        """Default (no suspicion) is the exact PR-4 protocol: fault-free
+        runs are unchanged by the feature existing."""
+        trajs = _trajs(2)
+        plain = _run(trajs, timeout=30.0)
+        probed = _run(trajs, timeout=30.0, suspicion_timeout=0.5)
+        for a, b in zip(plain, probed):
+            np.testing.assert_array_equal(a.labels, b.labels)

@@ -1,6 +1,7 @@
 """Tests for the micro-batching request queue."""
 
 import asyncio
+import time
 
 import numpy as np
 import pytest
@@ -153,14 +154,16 @@ class TestFailureAndBackpressure:
             # clear, so it cannot drain mid-test) and verify the bound.
             loop = asyncio.get_running_loop()
             backlog = [
-                (np.array([float(i)]), loop.create_future()) for i in range(4)
+                (np.array([float(i)]), loop.create_future(), None,
+                 time.monotonic())
+                for i in range(4)
             ]
             batcher._pending.extend(backlog)
             with pytest.raises(QueueFullError):
                 await batcher.submit(np.array([9.0]))
             assert stats.rejected_total == 1
             await batcher.stop()  # drains the staged backlog cleanly
-            return [fut.result() for _, fut in backlog]
+            return [fut.result() for _, fut, _, _ in backlog]
 
         results = run(scenario())
         assert [lab for lab, _ in results] == [0, 1, 2, 3]

@@ -1,0 +1,162 @@
+"""Per-request deadlines: expired work is shed, never hung.
+
+The batcher-level tests pin the mechanism (shed at flush, before the
+model call); the end-to-end tests pin the wiring: a ``deadline_ms``
+budget rides the wire, expires while the request lingers in the batch
+window, and comes back as a typed ``deadline_exceeded`` response — while
+the queue-wait histogram records how long the row actually sat.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError, ServeError
+from repro.serve import (
+    BatchPolicy,
+    MicroBatcher,
+    ModelRegistry,
+    ServeClient,
+    serve_in_thread,
+)
+from repro.serve.stats import ServeStats
+
+
+class TestBatcherDeadlines:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_expired_entry_shed_before_model_call(self):
+        calls = {"n": 0}
+
+        def predict_rows(rows):
+            calls["n"] += 1
+            return np.zeros(rows.shape[0], dtype=np.int64), None
+
+        async def scenario():
+            stats = ServeStats()
+            batcher = MicroBatcher(
+                predict_rows, BatchPolicy(max_delay_s=0.0), stats
+            ).start()
+            expired = time.monotonic() - 0.01
+            fut = batcher.submit_nowait(np.zeros(3), deadline=expired)
+            with pytest.raises(DeadlineExceededError):
+                await fut
+            await batcher.stop()
+            return stats
+
+        stats = self._run(scenario())
+        assert calls["n"] == 0  # shed rows never burn model time
+        assert stats.deadline_expired_total == 1
+        snap = stats.snapshot()
+        assert snap["deadline_expired_total"] == 1
+        assert snap["queue_wait"]["count"] == 1
+
+    def test_live_entries_survive_a_mixed_flush(self):
+        def predict_rows(rows):
+            return np.arange(rows.shape[0], dtype=np.int64), "extra"
+
+        async def scenario():
+            batcher = MicroBatcher(
+                predict_rows, BatchPolicy(max_delay_s=0.0)
+            ).start()
+            expired = time.monotonic() - 0.01
+            f_dead = batcher.submit_nowait(np.zeros(3), deadline=expired)
+            f_live = batcher.submit_nowait(np.ones(3), deadline=None)
+            with pytest.raises(DeadlineExceededError):
+                await f_dead
+            label, extra = await f_live
+            return label, extra
+
+        label, extra = self._run(scenario())
+        assert label == 0  # the shed row was removed before stacking
+        assert extra == "extra"
+
+    def test_queue_wait_recorded_for_labeled_rows_too(self):
+        def predict_rows(rows):
+            return np.zeros(rows.shape[0], dtype=np.int64), None
+
+        async def scenario():
+            stats = ServeStats()
+            batcher = MicroBatcher(
+                predict_rows, BatchPolicy(max_delay_s=0.0), stats
+            ).start()
+            await batcher.submit(np.zeros(3))
+            await batcher.stop()
+            return stats
+
+        stats = self._run(scenario())
+        assert stats.snapshot()["queue_wait"]["count"] == 1
+
+
+class TestDeadlinesEndToEnd:
+    @pytest.fixture()
+    def lingering(self, served_model):
+        """A server whose batch window (200 ms, no early flush) is far
+        longer than the deadlines the tests attach."""
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        policy = BatchPolicy(max_delay_s=0.2, quiescence_s=0.0)
+        with serve_in_thread(registry, policy=policy) as handle:
+            with ServeClient(*handle.address) as client:
+                yield handle, client
+
+    def test_deadline_expires_in_queue(self, lingering, small_gaussians):
+        handle, client = lingering
+        x, _ = small_gaussians
+        with pytest.raises(DeadlineExceededError):
+            client.predict(x[0], deadline_ms=10.0)
+        stats = client.stats()
+        assert stats["deadline_expired_total"] >= 1
+        assert stats["queue_wait"]["count"] >= 1
+        # Sheds and expiries are intended degradation, not server errors.
+        assert stats["errors_total"] == 0
+
+    def test_generous_deadline_is_met(self, lingering, small_gaussians,
+                                      served_model):
+        _, client = lingering
+        x, _ = small_gaussians
+        result = client.predict(x[0], deadline_ms=5000.0)
+        assert result.label == int(served_model.predict(x[:1])[0])
+
+    def test_batch_predict_accepts_deadline(self, lingering, small_gaussians,
+                                            served_model):
+        """The batch path bypasses the micro-batcher but still resolves
+        and honors the budget at arrival."""
+        _, client = lingering
+        x, _ = small_gaussians
+        result = client.predict(x[:16], deadline_ms=5000.0)
+        assert result.labels == [int(v) for v in served_model.predict(x[:16])]
+
+    def test_garbage_deadline_is_clean_validation_error(
+        self, lingering, small_gaussians
+    ):
+        handle, client = lingering
+        x, _ = small_gaussians
+        response = client.request(
+            {"op": "predict", "x": x[0].tolist(), "deadline_ms": "soon"}
+        )
+        assert response["ok"] is False
+        assert "deadline_ms" in response["error"]
+        # A client bug must not move the circuit breaker.
+        assert handle.server.circuit.state == "closed"
+
+    def test_deadline_exceeded_is_not_retried(self, served_model,
+                                              small_gaussians):
+        """deadline_exceeded is terminal: retrying cannot help (the budget
+        is spent), so even a retrying client surfaces it immediately."""
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        policy = BatchPolicy(max_delay_s=0.2, quiescence_s=0.0)
+        x, _ = small_gaussians
+        with serve_in_thread(registry, policy=policy) as handle:
+            client = ServeClient(*handle.address, retries=3)
+            t0 = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                client.predict(x[0], deadline_ms=10.0)
+            elapsed = time.monotonic() - t0
+            client.close()
+        # One linger window (~0.2 s), not four retry rounds of it.
+        assert elapsed < 1.0

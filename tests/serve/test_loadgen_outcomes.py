@@ -1,0 +1,104 @@
+"""Load-generator outcome accounting.
+
+An overload benchmark is only trustworthy if it can tell *how* requests
+failed: explicit server-side sheds are the intended degradation mode,
+client timeouts are the pathological one. These tests pin the bucketing
+logic and the end-to-end accounting identity (every request lands in
+exactly one bucket).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ShedError,
+)
+from repro.serve import (
+    AdmissionPolicy,
+    BatchPolicy,
+    ModelRegistry,
+    run_closed_loop,
+    serve_in_thread,
+)
+from repro.serve.loadgen import OUTCOMES, LoadReport, _classify
+
+
+class TestClassification:
+    @pytest.mark.parametrize("exc,bucket", [
+        (ShedError("x"), "shed"),
+        (DeadlineExceededError("x"), "deadline_exceeded"),
+        (CircuitOpenError("x"), "circuit_open"),
+        (QueueFullError("x"), "queue_full"),
+        (asyncio.TimeoutError(), "timeout"),
+        (ServeError("x"), "error"),
+        (OSError("x"), "error"),
+    ])
+    def test_buckets(self, exc, bucket):
+        assert _classify(exc) == bucket
+
+    def test_every_bucket_is_a_known_outcome(self):
+        for exc in (ShedError("x"), DeadlineExceededError("x"),
+                    CircuitOpenError("x"), QueueFullError("x"),
+                    asyncio.TimeoutError(), ServeError("x")):
+            assert _classify(exc) in OUTCOMES
+
+
+class TestLoadReport:
+    def test_starts_all_zero(self):
+        report = LoadReport(mode="closed")
+        assert set(report.outcomes) == set(OUTCOMES)
+        assert all(v == 0 for v in report.outcomes.values())
+        assert report.shed_total == 0
+
+    def test_shed_total_counts_explicit_rejections_only(self):
+        report = LoadReport(mode="closed")
+        for exc in (ShedError("a"), DeadlineExceededError("b"),
+                    CircuitOpenError("c"), QueueFullError("d"),
+                    asyncio.TimeoutError(), ServeError("e")):
+            report._record_failure(exc)
+        assert report.requests_failed == 6
+        assert report.shed_total == 4  # timeout + error are NOT sheds
+
+    def test_record_ok(self):
+        report = LoadReport(mode="open")
+        report._record_ok(0.001, version=3)
+        assert report.requests_ok == 1
+        assert report.outcomes["ok"] == 1
+        assert report.versions_seen == {3}
+
+    def test_render_shows_nonzero_outcomes(self):
+        report = LoadReport(mode="closed")
+        report.requests_sent = 2
+        report.duration_s = 1.0
+        report._record_ok(0.001, version=1)
+        report._record_failure(ShedError("busy"))
+        text = report.render()
+        assert "ok=1" in text and "shed=1" in text
+        assert "timeout" not in text  # zero buckets stay out of the way
+
+
+class TestOutcomesEndToEnd:
+    def test_closed_loop_separates_sheds_from_oks(
+        self, served_model, small_gaussians
+    ):
+        x, _ = small_gaussians
+        registry = ModelRegistry()
+        registry.publish(served_model)
+        admission = AdmissionPolicy(rate=1e-6, burst=3)
+        with serve_in_thread(
+            registry, policy=BatchPolicy(max_delay_s=0.002),
+            admission=admission,
+        ) as handle:
+            report = run_closed_loop(
+                *handle.address, x[:16], n_requests=20, n_clients=2
+            )
+        assert report.requests_sent == 20
+        assert sum(report.outcomes.values()) == 20
+        assert report.outcomes["ok"] == report.requests_ok <= 3  # the burst
+        assert report.outcomes["shed"] >= 17
+        assert report.requests_failed == report.shed_total
