@@ -12,6 +12,8 @@ Usage::
 
     python -m repro serve --model model.json [--port 8765]
     python -m repro serve-bench --demo --requests 2000 --clients 16
+    python -m repro fleet --model model.json --replicas 3 [--port 8900]
+    python -m repro fleet-bench [--sizes 1,2,4] [--check]
     python -m repro obs-report [--ranks 3] [--frames 160] [--json]
 
 ``--scale 1.0`` runs paper-sized experiments (hours on a workstation);
@@ -21,6 +23,10 @@ every conclusion. ``serve`` exposes a fitted model over the
 in-process server and measures it with the load generator;
 ``obs-report`` runs an instrumented in-situ workload and renders the
 per-phase time and comm-volume breakdowns from the telemetry registry.
+``fleet`` runs N replica subprocesses behind a capacity-aware router on
+one endpoint (same wire protocol — existing clients work unchanged);
+``fleet-bench`` measures goodput scaling at 1→2→4 replicas and a staged
+zero-downtime reload under load, recording ``BENCH_serve_fleet.json``.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate KeyBin2 (ICPP'18) evaluation artifacts.",
         epilog=(
             "Serving commands (own flags; see `python -m repro serve --help`): "
-            "serve, serve-bench. Telemetry: obs-report."
+            "serve, serve-bench, fleet, fleet-bench. Telemetry: obs-report."
         ),
     )
     parser.add_argument(
@@ -320,6 +326,175 @@ def _run_serve_bench(argv: List[str]) -> int:
     return 0 if report.requests_failed == report.shed_total else 1
 
 
+def _parse_quota(spec: str):
+    """``rate`` or ``rate:burst`` → TenantQuotaPolicy."""
+    from repro.fleet.quotas import TenantQuotaPolicy
+
+    rate, _, burst = spec.partition(":")
+    return TenantQuotaPolicy(
+        rate=float(rate), burst=float(burst) if burst else 10.0
+    )
+
+
+def _run_fleet(argv: List[str]) -> int:
+    import tempfile
+    import time
+
+    from repro.core.model import KeyBin2Model
+    from repro.fleet.quotas import TenantQuotas
+    from repro.fleet.replica import ReplicaSupervisor
+    from repro.fleet.router import router_in_thread
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Serve a model from N replica subprocesses behind a "
+                    "capacity-aware router (same TCP/JSON wire protocol).",
+    )
+    _serve_common_flags(parser)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--allow-admin", action="store_true",
+                        help="serve reload (staged rollout), rollback and "
+                             "shutdown even on a non-loopback --host")
+    parser.add_argument("--no-shard", action="store_true",
+                        help="disable bin-key sharding (pure power-of-two-"
+                             "choices routing)")
+    parser.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per replica on the shard ring")
+    parser.add_argument("--quota", action="append", default=[],
+                        metavar="TENANT=RATE[:BURST]",
+                        help="per-tenant token-bucket quota (repeatable)")
+    parser.add_argument("--quota-default", default=None,
+                        metavar="RATE[:BURST]",
+                        help="quota for tenants without an explicit --quota "
+                             "(and for anonymous traffic)")
+    parser.add_argument("--monitor-every", type=float, default=2.0,
+                        help="seconds between supervisor liveness sweeps "
+                             "(dead replicas are restarted and re-routed)")
+    args = parser.parse_args(argv)
+    if args.port == 8765:
+        args.port = 8900  # don't default onto the single-server port
+
+    # Process replicas load from disk; --demo fits once and saves a temp
+    # artifact every replica (and the shard model) shares.
+    tmp = None
+    model_path = args.model
+    if model_path is None:
+        model = _load_or_demo_model(args)
+        tmp = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", prefix="fleet-demo-", delete=False)
+        tmp.close()
+        model.save(tmp.name)
+        model_path = tmp.name
+    else:
+        model = KeyBin2Model.load(model_path)
+
+    quotas = TenantQuotas(
+        quotas={name: _parse_quota(spec) for name, _, spec in
+                (q.partition("=") for q in args.quota)},
+        default=None if args.quota_default is None
+        else _parse_quota(args.quota_default),
+    )
+    extra = []
+    if args.admit_rate is not None:
+        extra += ["--admit-rate", str(args.admit_rate),
+                  "--admit-burst", str(args.admit_burst)]
+    if args.max_in_flight is not None:
+        extra += ["--max-in-flight", str(args.max_in_flight)]
+    if args.default_deadline_ms is not None:
+        extra += ["--default-deadline-ms", str(args.default_deadline_ms)]
+    extra += ["--max-batch", str(args.max_batch),
+              "--window-ms", str(args.window_ms),
+              "--queue", str(args.queue), "--drain-s", str(args.drain_s)]
+
+    sup = ReplicaSupervisor(model_path, n_replicas=args.replicas,
+                            mode="process", extra_args=extra)
+    try:
+        endpoints = sup.start()
+        handle = router_in_thread(
+            endpoints, host=args.host, port=args.port,
+            shard=not args.no_shard, shard_model=model,
+            vnodes=args.vnodes, quotas=quotas,
+            allow_admin=True if args.allow_admin else None,
+            seed=args.seed,
+        )
+        with handle:
+            print(f"fleet router over {len(endpoints)} replicas "
+                  f"({', '.join(f'{r}={h}:{p}' for r, h, p in endpoints)}) "
+                  f"on {handle.address[0]}:{handle.address[1]}")
+            print("ops: predict, model-info, stats, metrics, healthz, "
+                  "fleet-status"
+                  + (", reload (staged rollout), rollback, shutdown"
+                     if handle.router.allow_admin else ""))
+            try:
+                last_sweep = time.monotonic()
+                while handle.thread.is_alive():
+                    time.sleep(0.5)
+                    if time.monotonic() - last_sweep < args.monitor_every:
+                        continue
+                    last_sweep = time.monotonic()
+                    for rid in sup.check_and_restart():
+                        rhost, rport = next(
+                            (h, p) for r, h, p in sup.endpoints() if r == rid
+                        )
+                        handle.set_endpoint(rid, rhost, rport)
+                        print(f"restarted dead replica {rid} "
+                              f"-> {rhost}:{rport}", flush=True)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+    finally:
+        sup.stop()
+        if tmp is not None:
+            import os
+
+            os.unlink(tmp.name)
+    return 0
+
+
+def _run_fleet_bench(argv: List[str]) -> int:
+    from repro.fleet.bench import DEFAULT_OUT_PATH, run_fleet_bench
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet-bench",
+        description="Measure fleet goodput scaling (1->2->4 replicas) and a "
+                    "staged zero-downtime reload under load.",
+    )
+    parser.add_argument("--model", default=None,
+                        help="model to serve (default: fit a demo model)")
+    parser.add_argument("--out", default=DEFAULT_OUT_PATH,
+                        help="results JSON path ('' = don't write)")
+    parser.add_argument("--sizes", default="1,2,4",
+                        help="comma-separated fleet sizes for the scaling runs")
+    parser.add_argument("--admit-rate", type=float, default=250.0,
+                        help="per-replica admission budget (predicts/s); the "
+                             "explicit capacity each replica contributes")
+    parser.add_argument("--demand-factor", type=float, default=1.35,
+                        help="open-loop demand as a multiple of aggregate "
+                             "fleet capacity")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of load per scaling point")
+    parser.add_argument("--reload-replicas", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless every acceptance threshold "
+                             "passes (2-replica scaling >= 1.6x, 4-replica "
+                             ">= 3x, zero hard failures during reload)")
+    args = parser.parse_args(argv)
+
+    results = run_fleet_bench(
+        model_path=args.model,
+        out_path=args.out or None,
+        fleet_sizes=tuple(int(s) for s in args.sizes.split(",") if s),
+        admit_rate=args.admit_rate,
+        demand_factor=args.demand_factor,
+        duration_s=args.duration,
+        reload_replicas=args.reload_replicas,
+        seed=args.seed,
+    )
+    if args.check and not results["passed"]:
+        return 1
+    return 0
+
+
 def _run_obs_report(argv: List[str]) -> int:
     from repro.obs import run_obs_report
 
@@ -373,6 +548,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "serve-bench":
         return _run_serve_bench(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _run_fleet(argv[1:])
+    if argv and argv[0] == "fleet-bench":
+        return _run_fleet_bench(argv[1:])
     if argv and argv[0] == "obs-report":
         return _run_obs_report(argv[1:])
     args = _build_parser().parse_args(argv)

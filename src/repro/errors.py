@@ -22,6 +22,8 @@ __all__ = [
     "ShedError",
     "DeadlineExceededError",
     "CircuitOpenError",
+    "ConnectionLostError",
+    "FleetUnavailableError",
 ]
 
 
@@ -134,3 +136,36 @@ class CircuitOpenError(ServeError):
     """
 
     code = "circuit_open"
+
+
+class ConnectionLostError(ServeError):
+    """Raised when the transport to a server died mid-conversation.
+
+    Replaces raw ``ConnectionResetError``/``BrokenPipeError``/timeouts
+    from the socket layer so callers (the fleet router, retry loops,
+    load generators) can catch one typed error instead of guessing which
+    OS-level exception a dead replica produces this time.
+
+    Attributes
+    ----------
+    reason:
+        Why the connection broke: ``timeout`` / ``reset`` / ``closed`` /
+        ``refused``. Distinct reasons get distinct retry-metric labels —
+        a fleet retrying on timeouts (overload) looks very different from
+        one retrying on resets (crashing servers).
+    """
+
+    def __init__(self, message: str, reason: str = "reset"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class FleetUnavailableError(ServeError):
+    """Raised when the fleet router has no healthy replica for a request.
+
+    Every replica is ejected (or the fleet is empty), so there is nowhere
+    to route. Retryable: replicas re-admit as soon as health probes
+    succeed again.
+    """
+
+    code = "unavailable"

@@ -1,0 +1,51 @@
+"""Replicated serving tier: a capacity-aware router over N model servers.
+
+One :class:`~repro.serve.server.ModelServer` serves a fitted KeyBin2
+model well; a production footprint needs *N* of them behind a single
+endpoint — with health-aware routing, cache-preserving sharding, tenant
+quotas, and model rollouts that cannot split-brain the fleet. This
+subpackage is that tier, speaking the existing JSON wire protocol
+unchanged so every client and load tool drives a fleet transparently:
+
+hashring    consistent-hash ring (vnodes, bounded-load spill walk)
+quotas      per-tenant token-bucket quotas ahead of replica admission
+replica     ReplicaSupervisor: spawn/monitor/restart local replicas
+router      FleetRouter: p2c + sharded routing, probing, failover
+rollout     staged canary → percentage → fleet model promotion
+bench       scaling + zero-downtime-reload benchmark (fleet-bench)
+
+Quickstart::
+
+    from repro.fleet import ReplicaSupervisor, router_in_thread
+    from repro.serve import ServeClient
+
+    with ReplicaSupervisor("model.json", n_replicas=3) as sup:
+        with router_in_thread(sup.start()) as handle:
+            with ServeClient(*handle.address) as client:
+                print(client.predict(x[0]).label)
+
+or from the command line: ``python -m repro fleet --model model.json``.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.bench import run_fleet_bench
+from repro.fleet.hashring import ConsistentHashRing
+from repro.fleet.quotas import TenantQuotaPolicy, TenantQuotas
+from repro.fleet.replica import ReplicaSupervisor
+from repro.fleet.rollout import RolloutConfig, RolloutError, RolloutManager
+from repro.fleet.router import FleetRouter, RouterHandle, router_in_thread
+
+__all__ = [
+    "ConsistentHashRing",
+    "FleetRouter",
+    "ReplicaSupervisor",
+    "RolloutConfig",
+    "RolloutError",
+    "RolloutManager",
+    "RouterHandle",
+    "TenantQuotaPolicy",
+    "TenantQuotas",
+    "router_in_thread",
+    "run_fleet_bench",
+]

@@ -1,0 +1,147 @@
+"""Consistent-hash ring with virtual nodes and bounded-load spill.
+
+The fleet shards ``predict`` traffic by *bin key*: every request whose
+point lands in the same KeyBin2 grid cell routes to the same replica, so
+that replica's version-keyed :class:`~repro.serve.cache.LabelCache`
+accumulates exactly the cells its shard actually sees. Without sharding,
+scale-out multiplies cold caches — each of N replicas re-misses every
+hot cell, and the fleet-wide hit rate decays toward ``1/N`` of the
+single-replica rate for the same traffic.
+
+Consistent hashing (many virtual nodes per replica on a shared 64-bit
+ring) keeps the shard map stable under membership change: adding or
+removing one replica remaps only ~``1/N`` of the key space, so the other
+replicas' caches survive the event untouched.
+
+Pure data structure — no sockets, no clocks. Hashes are
+:func:`hashlib.blake2b` digests, so shard placement is deterministic
+across processes and runs (never the seed-randomized builtin ``hash``).
+
+Bounded-load spill (:meth:`ConsistentHashRing.walk` consumed by the
+router) follows the "consistent hashing with bounded loads" idea: the
+shard owner serves the key *unless* it is already loaded beyond a factor
+``c`` of the current fleet mean, in which case the key spills to the
+next distinct replica along the ring. Affinity is preserved in the
+common case; a hot shard degrades into bounded extra cache misses
+instead of a hot-spot queue.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "little"
+    )
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring over string node ids.
+
+    Parameters
+    ----------
+    vnodes:
+        Virtual nodes per physical node. More vnodes → smoother key-space
+        split (the classic variance argument) at O(vnodes · N) memory.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValidationError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: List[int] = []          # sorted vnode positions
+        self._owner: Dict[int, str] = {}      # position -> node id
+        self._nodes: Dict[str, List[int]] = {}  # node id -> its positions
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            raise ValidationError(f"node {node_id!r} already on the ring")
+        positions = []
+        for v in range(self.vnodes):
+            pos = _hash64(f"{node_id}#{v}".encode("utf-8"))
+            # Astronomically unlikely 64-bit collision; deterministic
+            # re-probe keeps the ring well-defined if it ever happens.
+            while pos in self._owner:
+                pos = _hash64(pos.to_bytes(8, "little") + b"~")
+            self._owner[pos] = node_id
+            bisect.insort(self._points, pos)
+            positions.append(pos)
+        self._nodes[node_id] = positions
+
+    def remove(self, node_id: str) -> None:
+        positions = self._nodes.pop(node_id, None)
+        if positions is None:
+            raise ValidationError(f"node {node_id!r} is not on the ring")
+        drop = set(positions)
+        self._points = [p for p in self._points if p not in drop]
+        for pos in positions:
+            del self._owner[pos]
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    # -- lookup --------------------------------------------------------------
+
+    def key_position(self, key: int) -> int:
+        """Ring position of a shard key (for tests / diagnostics)."""
+        # Cell codes are unbounded ints (high-dimensional models pack many
+        # per-dim bins into one code), so size the byte string to the key.
+        v = int(key)
+        width = max(8, (v.bit_length() + 8) // 8)
+        return _hash64(v.to_bytes(width, "little", signed=True))
+
+    def walk(self, key: int,
+             only: Optional[Sequence[str]] = None) -> Iterator[str]:
+        """Distinct node ids in ring order starting at ``key``'s owner.
+
+        The first yielded node is the shard owner; each subsequent one is
+        the bounded-load spill target in preference order. ``only``
+        restricts the walk to a subset (the router passes the currently
+        healthy replicas), preserving ring order among them.
+        """
+        if not self._points:
+            return
+        allowed = None if only is None else set(only)
+        start = bisect.bisect_left(self._points, self.key_position(key))
+        seen = set()
+        n = len(self._points)
+        for i in range(n):
+            node = self._owner[self._points[(start + i) % n]]
+            if node in seen or (allowed is not None and node not in allowed):
+                continue
+            seen.add(node)
+            yield node
+
+    def owner(self, key: int) -> Optional[str]:
+        """The shard owner for ``key`` (``None`` on an empty ring)."""
+        return next(self.walk(key), None)
+
+    def share_of_keyspace(self, node_id: str) -> float:
+        """Fraction of the 64-bit key space owned by ``node_id``'s vnodes."""
+        if node_id not in self._nodes:
+            raise ValidationError(f"node {node_id!r} is not on the ring")
+        if len(self._nodes) == 1:
+            return 1.0
+        total = 0
+        span = 1 << 64
+        for i, pos in enumerate(self._points):
+            if self._owner[pos] == node_id:
+                prev = self._points[i - 1] if i else self._points[-1] - span
+                total += pos - prev
+        return total / span

@@ -1,0 +1,278 @@
+"""Replica lifecycle: spawn, monitor, kill, restart N model servers.
+
+The :class:`ReplicaSupervisor` owns the *processes* (or threads) behind
+the fleet; the router owns the *routing state*. Keeping them separate
+means the router can be pointed at replicas it does not manage (remote
+hosts, an orchestrator's pods) while local deployments get a complete
+battery-included stack from ``python -m repro fleet``.
+
+Two modes:
+
+* ``process`` — each replica is a ``python -m repro serve`` subprocess
+  with its own interpreter, event loop, model registry and caches. Real
+  isolation: a replica can be SIGKILLed mid-request and the rest of the
+  fleet (and the supervisor) does not notice beyond the router's
+  failover. This is what the fleet bench and the chaos smoke use.
+* ``thread`` — each replica is a :func:`~repro.serve.server.serve_in_thread`
+  server inside this process. No isolation, but startup is ~1000× faster
+  and tests can reach into a replica's registry directly; the unit tests
+  use this.
+
+Every replica gets a stable id (``r0``, ``r1``, ...) that survives
+restarts — the consistent-hash ring hashes ids, so a restarted replica
+(new port, cold cache) takes back exactly its old shard.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServeError, ValidationError
+from repro.serve.client import probe
+
+__all__ = ["ReplicaSupervisor"]
+
+#: The ``serve`` CLI announces its bind as "... on HOST:PORT"; the
+#: supervisor parses that line to learn an ephemeral port.
+_PORT_RE = re.compile(r"\bon\s+(\S+):(\d+)\s*$")
+
+
+class _Replica:
+    """Internal per-replica bookkeeping (one of proc/handle is set)."""
+
+    def __init__(self, replica_id: str):
+        self.replica_id = replica_id
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.proc: Optional[subprocess.Popen] = None
+        self.handle = None  # ServerHandle in thread mode
+        self.registry = None  # ModelRegistry in thread mode
+        self.tail: deque = deque(maxlen=50)  # last stdout lines (diagnostics)
+        self.port_event = threading.Event()
+        self.restarts = 0
+
+
+class ReplicaSupervisor:
+    """Spawn, monitor, and restart N local model-server replicas.
+
+    Parameters
+    ----------
+    model_path:
+        Model file every replica serves at startup (saved by
+        :meth:`KeyBin2Model.save`). Required in ``process`` mode; in
+        ``thread`` mode a pre-loaded model object may be passed instead.
+    n_replicas:
+        Fleet size.
+    mode:
+        ``"process"`` (subprocess isolation) or ``"thread"`` (in-process,
+        fast — tests).
+    host:
+        Bind address for every replica (loopback keeps admin ops open).
+    extra_args:
+        Additional ``python -m repro serve`` flags applied to every
+        process-mode replica (e.g. ``["--admit-rate", "300"]``).
+    admission:
+        Thread-mode equivalent of the admission flags (an
+        :class:`~repro.serve.admission.AdmissionPolicy`).
+    model:
+        Thread mode only: serve this fitted model object (skips the
+        load from ``model_path``).
+    startup_timeout:
+        Seconds to wait for a replica to announce its port / bind.
+    """
+
+    def __init__(
+        self,
+        model_path: Optional[str] = None,
+        n_replicas: int = 3,
+        mode: str = "process",
+        host: str = "127.0.0.1",
+        extra_args: Sequence[str] = (),
+        admission=None,
+        model=None,
+        startup_timeout: float = 30.0,
+    ):
+        if mode not in ("process", "thread"):
+            raise ValidationError("mode must be 'process' or 'thread'")
+        if n_replicas < 1:
+            raise ValidationError("n_replicas must be >= 1")
+        if mode == "process" and model_path is None:
+            raise ValidationError("process mode needs model_path")
+        if mode == "thread" and model_path is None and model is None:
+            raise ValidationError("thread mode needs model_path or model")
+        self.model_path = None if model_path is None else str(model_path)
+        self.mode = mode
+        self.host = host
+        self.extra_args = list(extra_args)
+        self.admission = admission
+        self._model = model
+        self.startup_timeout = float(startup_timeout)
+        self._replicas: Dict[str, _Replica] = {
+            f"r{i}": _Replica(f"r{i}") for i in range(n_replicas)
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> List[Tuple[str, str, int]]:
+        """Start every replica; returns ``[(id, host, port), ...]``."""
+        for replica in self._replicas.values():
+            self._start_one(replica)
+        return self.endpoints()
+
+    def endpoints(self) -> List[Tuple[str, str, int]]:
+        """Current ``(id, host, port)`` for every live-or-started replica."""
+        out = []
+        for rid in sorted(self._replicas, key=lambda r: int(r[1:])):
+            rep = self._replicas[rid]
+            if rep.port is not None:
+                out.append((rid, rep.host, rep.port))
+        return out
+
+    def is_alive(self, replica_id: str) -> bool:
+        rep = self._get(replica_id)
+        if self.mode == "process":
+            return rep.proc is not None and rep.proc.poll() is None
+        return rep.handle is not None and rep.handle.thread.is_alive()
+
+    def kill(self, replica_id: str) -> None:
+        """Stop one replica abruptly (SIGKILL in process mode)."""
+        rep = self._get(replica_id)
+        if self.mode == "process":
+            if rep.proc is not None and rep.proc.poll() is None:
+                rep.proc.kill()
+                rep.proc.wait(timeout=10)
+        elif rep.handle is not None:
+            rep.handle.stop()
+            rep.handle = None
+
+    def restart(self, replica_id: str) -> Tuple[str, int]:
+        """Restart one replica (fresh process/thread, fresh ephemeral port).
+
+        The replica id — and therefore its shard on the ring — is
+        preserved; callers must tell the router about the new endpoint.
+        """
+        rep = self._get(replica_id)
+        self.kill(replica_id)
+        self._start_one(rep)
+        rep.restarts += 1
+        return rep.host, rep.port
+
+    def check_and_restart(self) -> List[str]:
+        """Restart every dead replica; returns the restarted ids.
+
+        The monitor loop in ``python -m repro fleet`` calls this
+        periodically so a crashed replica rejoins the fleet without
+        operator action.
+        """
+        restarted = []
+        for rid in list(self._replicas):
+            if not self.is_alive(rid):
+                self.restart(rid)
+                restarted.append(rid)
+        return restarted
+
+    def stop(self) -> None:
+        """Stop every replica (graceful in thread mode, SIGKILL process)."""
+        for rid in list(self._replicas):
+            try:
+                self.kill(rid)
+            except ServeError:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def diagnostics(self, replica_id: str) -> str:
+        """Last stdout lines of a process-mode replica (crash forensics)."""
+        return "".join(self._get(replica_id).tail)
+
+    # -- internals -----------------------------------------------------------
+
+    def _get(self, replica_id: str) -> _Replica:
+        try:
+            return self._replicas[replica_id]
+        except KeyError:
+            raise ValidationError(f"unknown replica {replica_id!r}") from None
+
+    def _start_one(self, rep: _Replica) -> None:
+        if self.mode == "thread":
+            self._start_thread(rep)
+        else:
+            self._start_process(rep)
+
+    def _start_thread(self, rep: _Replica) -> None:
+        from repro.core.model import KeyBin2Model
+        from repro.serve.registry import ModelRegistry
+        from repro.serve.server import serve_in_thread
+
+        if self._model is None:
+            self._model = KeyBin2Model.load(self.model_path)
+        registry = ModelRegistry()
+        registry.publish(self._model, tag=f"{rep.replica_id}-startup")
+        rep.registry = registry
+        rep.handle = serve_in_thread(
+            registry, host=self.host, port=0, admission=self.admission
+        )
+        rep.host, rep.port = rep.handle.address
+
+    def _start_process(self, rep: _Replica) -> None:
+        # -u: the child announces its port on stdout, and a block-buffered
+        # pipe would hold that line back past the startup timeout.
+        cmd = [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--model", self.model_path,
+            "--host", self.host, "--port", "0",
+            *self.extra_args,
+        ]
+        env = os.environ.copy()
+        src = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        rep.port = None
+        rep.port_event = threading.Event()
+        rep.tail = deque(maxlen=50)
+        rep.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        threading.Thread(
+            target=self._drain_stdout, args=(rep, rep.proc),
+            name=f"fleet-{rep.replica_id}-stdout", daemon=True,
+        ).start()
+        if not rep.port_event.wait(self.startup_timeout) or rep.port is None:
+            self.kill(rep.replica_id)
+            raise ServeError(
+                f"replica {rep.replica_id} failed to announce a port within "
+                f"{self.startup_timeout}s; output:\n{self.diagnostics(rep.replica_id)}"
+            )
+        rep.host = self.host
+        # One verified healthz round trip before the replica counts as
+        # started — the port announcement alone proves a bind, not a
+        # working serve loop.
+        probe(rep.host, rep.port, timeout=self.startup_timeout)
+
+    def _drain_stdout(self, rep: _Replica, proc: subprocess.Popen) -> None:
+        # Keeps the pipe from filling (which would wedge the child) and
+        # captures a diagnostic tail. Runs until the child's stdout EOFs.
+        try:
+            for line in proc.stdout:
+                rep.tail.append(line)
+                if rep.port is None:
+                    match = _PORT_RE.search(line)
+                    if match:
+                        rep.port = int(match.group(2))
+                        rep.port_event.set()
+        finally:
+            rep.port_event.set()  # EOF: unblock a waiting starter

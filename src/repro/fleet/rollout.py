@@ -1,0 +1,297 @@
+"""Staged fleet rollout: canary → percentage stages → full promotion.
+
+A single :class:`~repro.serve.server.ModelServer` hot-swaps models
+atomically via its registry; a *fleet* cannot — N replicas reload at N
+different instants, and a bad artifact multiplied by N is an outage, not
+a blip. The :class:`RolloutManager` turns the router's ``reload`` op into
+a staged promotion:
+
+1. **canary** — exactly one healthy replica reloads the new artifact.
+   The manager then *bakes* it: it replays sampled live predict rows
+   (old dimensionality — what production actually sends) against the
+   canary and classifies the answers. Sheds and deadline misses are
+   neutral (load, not model quality); validation and model errors count
+   against the canary. An error rate above
+   :attr:`RolloutConfig.max_error_rate` triggers an automatic
+   ``rollback`` on the canary and aborts the rollout — the other N−1
+   replicas never saw the artifact.
+2. **staged** — the remaining replicas promote in
+   :attr:`RolloutConfig.stages` fractions (default 50% then 100%).
+   After each replica reloads, its ``model-info`` fingerprint must match
+   the canary's — the same convergence check the consolidation layer
+   uses — so a replica that silently loaded something else aborts the
+   rollout instead of serving split-brain labels.
+3. **complete** — every promoted fingerprint agrees; the router's shard
+   model is refreshed to the new artifact so cell-code shard keys track
+   what the fleet now serves.
+
+Any failure after the canary promotes rolls back *every* promoted
+replica (canary included) and the rollout ends ``rolled_back`` — the
+fleet converges to the old fingerprint, never a mix.
+
+Zero downtime falls out of the existing server design: each replica's
+reload runs off its event loop while in-flight predicts drain normally,
+and the router keeps routing around whichever replica is mid-reload —
+requests never queue behind the rollout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConnectionLostError, ServeError, ValidationError
+
+__all__ = ["RolloutConfig", "RolloutError", "RolloutManager"]
+
+#: Rollout states, in gauge-value order (``fleet_rollout_state``).
+ROLLOUT_STATES: Tuple[str, ...] = (
+    "idle", "canary", "staged", "complete", "rolled_back"
+)
+
+
+class RolloutError(ServeError):
+    """A rollout aborted (canary regression, divergence, reload failure)."""
+
+    code = "rollout_failed"
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Knobs for the staged rollout.
+
+    Parameters
+    ----------
+    stages:
+        Cumulative fleet fractions promoted after the canary bakes.
+        Must be increasing and end at 1.0.
+    probes:
+        Predict probes replayed against the canary during the bake.
+    max_error_rate:
+        Canary error rate (errors / non-neutral probes) above which the
+        rollout auto-rolls back.
+    settle_s:
+        Pause between stages (lets per-replica circuits/queues react
+        before the blast radius grows). Kept tiny by default so tests
+        and benches stay fast.
+    """
+
+    stages: Tuple[float, ...] = (0.5, 1.0)
+    probes: int = 24
+    max_error_rate: float = 0.25
+    settle_s: float = 0.0
+
+    def __post_init__(self):
+        if not self.stages or sorted(self.stages) != list(self.stages):
+            raise ValidationError("rollout stages must be increasing")
+        if not (0 < self.stages[0] <= 1.0) or self.stages[-1] != 1.0:
+            raise ValidationError("rollout stages must lie in (0, 1] and end at 1.0")
+        if self.probes < 1:
+            raise ValidationError("rollout needs at least one canary probe")
+        if not (0 <= self.max_error_rate < 1):
+            raise ValidationError("max_error_rate must be in [0, 1)")
+
+
+class RolloutManager:
+    """Drives staged rollouts over a :class:`~repro.fleet.router.FleetRouter`.
+
+    One manager per router; the router serializes invocations under its
+    admin lock, so at most one rollout runs at a time.
+    """
+
+    def __init__(self, router, config: Optional[RolloutConfig] = None):
+        self.router = router
+        self.config = config if config is not None else RolloutConfig()
+        self.state = "idle"
+        self.history: List[Dict[str, Any]] = []
+        reg = router.registry
+        self._m_state = reg.gauge(
+            "fleet_rollout_state",
+            "Rollout state machine position: "
+            + ", ".join(f"{i}={s}" for i, s in enumerate(ROLLOUT_STATES)),
+        )
+        self._m_rollouts = reg.counter(
+            "fleet_rollouts_total",
+            "Completed rollout attempts, by outcome (complete / "
+            "canary_rejected / aborted).",
+            ("outcome",),
+        )
+
+    def _set_state(self, state: str, **detail: Any) -> None:
+        self.state = state
+        self._m_state.set(ROLLOUT_STATES.index(state))
+        self.history.append({"at": time.time(), "state": state, **detail})
+        del self.history[:-50]  # bounded memory on long-lived routers
+
+    # -- the rollout ---------------------------------------------------------
+
+    async def run(self, path: str, tag: Optional[str] = None) -> Dict[str, Any]:
+        """Roll ``path`` out across the fleet; returns the promotion summary.
+
+        Raises :class:`RolloutError` on any abort — in which case every
+        replica that promoted has been rolled back to the old artifact.
+        """
+        fleet = self.router._healthy_states()
+        if not fleet:
+            raise RolloutError("cannot roll out: no healthy replica")
+        canary, rest = fleet[0], fleet[1:]
+        baseline = await self._model_info(canary)
+        old_features = int(baseline.get("n_features") or 0)
+
+        self._set_state("canary", replica=canary.id, path=path)
+        promoted: List[Tuple[Any, int]] = []  # (state, new version) per replica
+        try:
+            version = await self._reload_one(canary, path, tag)
+        except RolloutError as exc:
+            # Canary never promoted — nothing to roll back.
+            self._finish("rolled_back", "canary_rejected", error=str(exc))
+            raise
+        promoted.append((canary, version))
+        new_info = await self._model_info(canary)
+        new_fp = new_info.get("fingerprint")
+
+        errors, attempts = await self._bake(canary, old_features)
+        error_rate = errors / attempts if attempts else 0.0
+        if error_rate > self.config.max_error_rate:
+            await self._rollback_all(promoted)
+            self._finish(
+                "rolled_back", "canary_rejected",
+                error_rate=round(error_rate, 4), probes=attempts,
+            )
+            raise RolloutError(
+                f"canary {canary.id} rejected: error rate "
+                f"{error_rate:.0%} over {attempts} probes "
+                f"(limit {self.config.max_error_rate:.0%}); rolled back"
+            )
+
+        self._set_state("staged", fingerprint=new_fp)
+        total = len(fleet)
+        next_replica = 0
+        try:
+            for frac in self.config.stages:
+                target = min(total, max(1, math.ceil(frac * total - 1e-9)))
+                while len(promoted) < target and next_replica < len(rest):
+                    state = rest[next_replica]
+                    next_replica += 1
+                    version = await self._reload_one(state, path, tag)
+                    info = await self._model_info(state)
+                    if info.get("fingerprint") != new_fp:
+                        raise RolloutError(
+                            f"replica {state.id} diverged after reload: "
+                            f"fingerprint {info.get('fingerprint')!r} != "
+                            f"canary {new_fp!r}"
+                        )
+                    promoted.append((state, version))
+                if self.config.settle_s and len(promoted) < total:
+                    await asyncio.sleep(self.config.settle_s)
+        except RolloutError as exc:
+            await self._rollback_all(promoted)
+            self._finish("rolled_back", "aborted", error=str(exc))
+            raise RolloutError(f"rollout aborted, fleet rolled back: {exc}") from exc
+
+        await self._refresh_shard_model(path)
+        self._finish("complete", "complete", fingerprint=new_fp,
+                     replicas=len(promoted))
+        return {
+            "version": max(v for _, v in promoted),
+            "fingerprint": new_fp,
+            "rollout": {
+                "state": "complete",
+                "canary": canary.id,
+                "probes": attempts,
+                "error_rate": round(error_rate, 4),
+                "promoted": {s.id: v for s, v in promoted},
+            },
+        }
+
+    def _finish(self, state: str, outcome: str, **detail: Any) -> None:
+        self._set_state(state, **detail)
+        self._m_rollouts.labels(outcome=outcome).inc()
+
+    # -- steps ---------------------------------------------------------------
+
+    async def _model_info(self, state) -> Dict[str, Any]:
+        try:
+            info = await self.router.admin_request(state, {"op": "model-info"})
+        except (ConnectionLostError, ValueError) as exc:
+            raise RolloutError(
+                f"replica {state.id} unreachable for model-info: {exc}"
+            ) from exc
+        if not info.get("ok"):
+            raise RolloutError(
+                f"replica {state.id} model-info failed: {info.get('error')}"
+            )
+        return info
+
+    async def _reload_one(self, state, path: str,
+                          tag: Optional[str]) -> int:
+        payload: Dict[str, Any] = {"op": "reload", "path": path}
+        if tag is not None:
+            payload["tag"] = tag
+        try:
+            resp = await self.router.admin_request(state, payload)
+        except (ConnectionLostError, ValueError) as exc:
+            raise RolloutError(
+                f"replica {state.id} died during reload: {exc}"
+            ) from exc
+        if not resp.get("ok"):
+            raise RolloutError(
+                f"replica {state.id} rejected reload of {path!r}: "
+                f"{resp.get('error')}"
+            )
+        return int(resp["version"])
+
+    async def _bake(self, canary, old_features: int) -> Tuple[int, int]:
+        """Replay sampled traffic at the canary; returns (errors, attempts).
+
+        Probe rows deliberately use the *old* feature count: live clients
+        have not been redeployed, so that is the traffic the new model
+        must survive. A model artifact with the wrong dimensionality
+        fails here as a 100% validation-error rate — before any
+        non-canary replica promotes.
+        """
+        rows = self.router.probe_rows(self.config.probes, old_features)
+        errors = attempts = 0
+        for row in rows:
+            try:
+                resp = await self.router.admin_request(
+                    canary, {"op": "predict", "x": row}
+                )
+            except (ConnectionLostError, ValueError):
+                errors += 1
+                attempts += 1
+                continue
+            if resp.get("ok"):
+                attempts += 1
+                continue
+            if resp.get("err") in ("shed", "queue_full", "deadline_exceeded"):
+                continue  # load-shaping, not model quality: neutral
+            errors += 1
+            attempts += 1
+        return errors, attempts
+
+    async def _rollback_all(self, promoted) -> None:
+        for state, _version in promoted:
+            try:
+                await self.router.admin_request(state, {"op": "rollback"})
+            except (ConnectionLostError, ValueError):
+                # Replica unreachable mid-abort: the health loop will
+                # eject it; record and keep rolling the others back.
+                self.history.append({
+                    "at": time.time(), "state": "rollback_failed",
+                    "replica": state.id,
+                })
+
+    async def _refresh_shard_model(self, path: str) -> None:
+        if not self.router.shard_enabled:
+            return
+        from repro.core.model import KeyBin2Model
+
+        try:
+            model = await asyncio.to_thread(KeyBin2Model.load, path)
+        except Exception:
+            return  # shard keys fall back to coordinate quantization
+        self.router.set_shard_model(model)

@@ -1,0 +1,991 @@
+"""Capacity-aware fleet router: one wire endpoint over N model servers.
+
+The :class:`FleetRouter` is an asyncio TCP front-end that speaks the
+*exact* :mod:`repro.serve` newline-delimited JSON protocol, so every
+existing client, load generator, and test drives a fleet the same way it
+drives a single server. Behind the socket it adds the four things one
+``ModelServer`` cannot do for itself:
+
+* **capacity-aware load balancing** — power-of-two-choices over a score
+  combining the router's own per-replica in-flight count (exact, free)
+  with each replica's self-reported ``in_flight``/``queue_depth`` from
+  periodic ``healthz`` probes (an EWMA'd capacity hint). Per the
+  coordinator-model discipline of *Communication-Optimal Distributed
+  Clustering*, the router centralizes only these cheap aggregate
+  signals — never per-point model work, which stays on the replicas.
+* **health probing, ejection, re-admission** — a background loop probes
+  every replica on a tight deadline (:func:`repro.serve.client.async_probe`);
+  consecutive failures eject a replica from rotation, later successes
+  re-admit it. Transport failures during forwarding count too, so a
+  crashed replica stops receiving traffic after the first error, not the
+  next probe tick.
+* **bin-key sharding** — single-point predicts are routed by consistent
+  hash of their KeyBin2 cell code (or a coarse coordinate quantization
+  when no shard model is installed), so each replica's label cache
+  keeps its shard's working set hot as the fleet scales out
+  (:mod:`repro.fleet.hashring`, with bounded-load spill for hot shards).
+* **failover** — idempotent requests that die on a replica connection
+  are retried on the next-best replica; the client sees one slightly
+  slower response instead of an error.
+
+Plus per-tenant token-bucket quotas (:mod:`repro.fleet.quotas`) ahead of
+replica admission, and a staged-rollout engine for the ``reload`` op
+(:mod:`repro.fleet.rollout`) instead of a single-server hot swap.
+
+The router deliberately keeps **no model state** on the request path:
+responses are relayed as raw bytes (one ``startswith`` sniff for the
+success metric), requests are forwarded as the raw line the client sent,
+and large batch predicts skip JSON parsing entirely. What the router
+computes per request is O(dims) at most — a shard hash — which is the
+same order as reading the line off the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import math
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ConnectionLostError,
+    ServeError,
+    ShedError,
+    ValidationError,
+)
+from repro.fleet.hashring import ConsistentHashRing
+from repro.fleet.quotas import TenantQuotas
+from repro.obs import default_registry, render_json, render_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.serve.client import PROBE_TIMEOUT_S, async_probe
+
+__all__ = ["FleetRouter", "RouterHandle", "router_in_thread"]
+
+#: Routed-outcome label values (mirrors the loadgen's buckets plus the
+#: router-only ``failover`` and ``relayed`` classifications).
+_PREDICT_PREFIX = b'{"op": "predict"'
+_OK_PREFIX = b'{"ok": true'
+_NOTOK_PREFIX = b'{"ok": false'
+
+
+class _Conn:
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+
+class _ConnPool:
+    """Bounded lazy pool of pipelined connections to one replica.
+
+    Each in-flight request owns a connection exclusively (the wire
+    protocol answers in order, so interleaving two requests on one
+    connection would cross their responses). ``limit`` bounds the
+    router's sockets per replica; excess requests wait on the semaphore,
+    which is itself a capacity signal upstream (outstanding grows).
+    """
+
+    def __init__(self, host: str, port: int, limit: int = 16,
+                 connect_timeout: float = 2.0):
+        self.host = host
+        self.port = port
+        self.limit = int(limit)
+        self.connect_timeout = float(connect_timeout)
+        self._free: deque = deque()
+        self._sem = asyncio.Semaphore(self.limit)
+        self._closed = False
+
+    async def acquire(self) -> _Conn:
+        await self._sem.acquire()
+        while self._free:
+            conn = self._free.popleft()
+            if conn.reader.at_eof() or conn.writer.is_closing():
+                self._close_conn(conn)
+                continue
+            return conn
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            self._sem.release()
+            reason = "timeout" if isinstance(exc, asyncio.TimeoutError) else (
+                "refused" if isinstance(exc, ConnectionRefusedError) else "reset"
+            )
+            raise ConnectionLostError(
+                f"cannot connect to replica {self.host}:{self.port}: {exc}",
+                reason=reason,
+            ) from exc
+        return _Conn(reader, writer)
+
+    def release(self, conn: _Conn) -> None:
+        if self._closed:
+            self._close_conn(conn)
+        else:
+            self._free.append(conn)
+        self._sem.release()
+
+    def discard(self, conn: _Conn) -> None:
+        self._close_conn(conn)
+        self._sem.release()
+
+    def close_all(self) -> None:
+        self._closed = True
+        while self._free:
+            self._close_conn(self._free.popleft())
+
+    @staticmethod
+    def _close_conn(conn: _Conn) -> None:
+        try:
+            conn.writer.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+
+
+class ReplicaState:
+    """Routing-side view of one replica: endpoint, health, load."""
+
+    def __init__(self, replica_id: str, host: str, port: int,
+                 pool_size: int = 16):
+        self.id = replica_id
+        self.host = host
+        self.port = port
+        self.pool = _ConnPool(host, port, limit=pool_size)
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.readmit_streak = 0
+        self.outstanding = 0       # router-local in-flight (exact)
+        self.load_hint = 0.0       # EWMA of replica-reported in_flight+queue
+        self.polled: Dict[str, Any] = {}
+        self.ejections = 0
+        self.readmissions = 0
+
+    @property
+    def score(self) -> float:
+        """Lower is better. Exact local count plus the polled hint."""
+        return self.outstanding + self.load_hint
+
+    def reset_endpoint(self, host: str, port: int, pool_size: int) -> None:
+        self.pool.close_all()
+        self.host = host
+        self.port = port
+        self.pool = _ConnPool(host, port, limit=pool_size)
+        self.consecutive_failures = 0
+        self.readmit_streak = 0
+        self.load_hint = 0.0
+        self.polled = {}
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "healthy": self.healthy,
+            "outstanding": self.outstanding,
+            "load_hint": round(self.load_hint, 2),
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "version": self.polled.get("version"),
+            "fingerprint": self.polled.get("fingerprint"),
+        }
+
+
+class FleetRouter:
+    """Asyncio TCP router over a fixed set of model-server replicas.
+
+    Parameters
+    ----------
+    replicas:
+        ``[(replica_id, host, port), ...]`` — typically
+        :meth:`ReplicaSupervisor.endpoints`. Membership is fixed for the
+        router's lifetime (health ejection is temporary removal from
+        rotation, not membership change); a restarted replica re-enters
+        via :meth:`set_endpoint` under its old id, keeping its shard.
+    host, port:
+        Bind address of the router itself (``port=0`` → ephemeral).
+    shard:
+        Route single-point predicts by consistent-hashed bin key. Batch
+        predicts always balance by capacity (a batch spans many cells, so
+        it has no single shard).
+    shard_model:
+        Optional fitted :class:`~repro.core.model.KeyBin2Model` whose
+        ``cell_codes_for`` defines the shard key exactly. Without it,
+        points are quantized at ``shard_resolution`` per coordinate and
+        hashed — a model-free approximation of "same cell ⇒ same shard".
+    quotas:
+        Per-tenant :class:`~repro.fleet.quotas.TenantQuotas` enforced
+        before any replica is consulted.
+    allow_admin:
+        Gate for ``reload`` (staged rollout), ``rollback`` and
+        ``shutdown`` — same loopback-only default as the single server.
+    spill_factor, spill_min_headroom:
+        Bounded-load sharding: a shard owner with more than
+        ``max(min_headroom, ceil(factor · mean outstanding))`` requests
+        in flight spills the request to the next replica on the ring.
+    eject_after, readmit_after:
+        Consecutive probe/transport failures before a replica leaves
+        rotation; consecutive probe successes before it returns.
+    max_failovers:
+        Transport-failure retries per predict (distinct replicas).
+    """
+
+    _LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
+
+    def __init__(
+        self,
+        replicas: Sequence[Tuple[str, str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard: bool = True,
+        shard_model=None,
+        shard_resolution: float = 0.25,
+        vnodes: int = 64,
+        quotas: Optional[TenantQuotas] = None,
+        allow_admin: Optional[bool] = None,
+        probe_interval_s: float = 0.25,
+        probe_timeout_s: float = PROBE_TIMEOUT_S,
+        eject_after: int = 2,
+        readmit_after: int = 2,
+        max_failovers: int = 2,
+        spill_factor: float = 1.25,
+        spill_min_headroom: int = 4,
+        pool_size: int = 16,
+        forward_timeout_s: float = 30.0,
+        rollout_config=None,
+        registry: Optional[MetricsRegistry] = None,
+        seed: int = 0,
+    ):
+        if not replicas:
+            raise ValidationError("router needs at least one replica")
+        self.host = host
+        self.port = port
+        self.allow_admin = (
+            host in self._LOOPBACK_HOSTS if allow_admin is None else allow_admin
+        )
+        self.pool_size = int(pool_size)
+        self._states: Dict[str, ReplicaState] = {}
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        for replica_id, rhost, rport in replicas:
+            if replica_id in self._states:
+                raise ValidationError(f"duplicate replica id {replica_id!r}")
+            self._states[replica_id] = ReplicaState(
+                replica_id, rhost, int(rport), pool_size=self.pool_size
+            )
+            self.ring.add(replica_id)
+        self.shard_enabled = bool(shard)
+        self.shard_resolution = float(shard_resolution)
+        if self.shard_resolution <= 0:
+            raise ValidationError("shard_resolution must be > 0")
+        self._shard_model = None
+        self._shard_model_features = 0
+        if shard_model is not None:
+            self.set_shard_model(shard_model)
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.probe_interval_s = float(probe_interval_s)
+        self.probe_timeout_s = float(probe_timeout_s)
+        self.eject_after = int(eject_after)
+        self.readmit_after = int(readmit_after)
+        self.max_failovers = int(max_failovers)
+        self.spill_factor = float(spill_factor)
+        self.spill_min_headroom = int(spill_min_headroom)
+        self.forward_timeout_s = float(forward_timeout_s)
+        #: Lines larger than this are assumed to be batch predicts and are
+        #: never JSON-parsed on the hot path (no shard key, p2c routing).
+        self.shard_parse_limit = 4096
+        self._rng = random.Random(seed)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._init_metrics()
+        # Rollout engine (lazy import to avoid a module cycle).
+        from repro.fleet.rollout import RolloutConfig, RolloutManager
+
+        self.rollout = RolloutManager(
+            self, rollout_config if rollout_config is not None else RolloutConfig()
+        )
+        self._sample_rows: deque = deque(maxlen=64)
+        self._sample_tick = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._writers: set = set()
+        self._admin_lock: Optional[asyncio.Lock] = None
+        self.bound_port: Optional[int] = None
+        self.started_at = time.time()
+
+    # -- metrics -------------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._m_routed = reg.counter(
+            "fleet_routed_total",
+            "Requests routed per replica, by outcome (ok / shed / "
+            "deadline_exceeded / circuit_open / queue_full / error / "
+            "failover).",
+            ("replica", "outcome"),
+        )
+        self._m_spill = reg.counter(
+            "fleet_shard_spill_total",
+            "Sharded predicts that left their shard owner for the next "
+            "ring replica because the owner was over the bounded-load cap.",
+            ("replica",),
+        )
+        self._m_unroutable = reg.counter(
+            "fleet_unroutable_total",
+            "Requests answered 'unavailable' because no healthy replica "
+            "remained (after failover attempts).",
+        )
+        self._m_tenant_shed = reg.counter(
+            "fleet_tenant_shed_total",
+            "Predicts shed by per-tenant quotas at the router, by tenant.",
+            ("tenant",),
+        )
+        self._m_probe_fail = reg.counter(
+            "fleet_probe_failures_total",
+            "Health probes that failed, by replica.",
+            ("replica",),
+        )
+        self._m_ejections = reg.counter(
+            "fleet_ejections_total",
+            "Times a replica was ejected from rotation.",
+            ("replica",),
+        )
+        self._m_readmissions = reg.counter(
+            "fleet_readmissions_total",
+            "Times an ejected replica was re-admitted after healthy probes.",
+            ("replica",),
+        )
+        self._m_healthy = reg.gauge(
+            "fleet_replicas_healthy", "Replicas currently in rotation."
+        )
+        self._m_healthy.set(len(self._states))
+        reg.gauge(
+            "fleet_replicas_total", "Replicas configured on the router."
+        ).set(len(self._states))
+        self._m_forward = reg.histogram(
+            "fleet_forward_seconds",
+            "Router-side forward latency (send to replica until its "
+            "response line is read).",
+        )
+
+    # -- shard model ---------------------------------------------------------
+
+    def set_shard_model(self, model) -> None:
+        """Install (or swap) the model whose cell codes define shard keys.
+
+        Called at construction and again after a completed rollout, so
+        shard affinity tracks the fingerprint the fleet actually serves.
+        """
+        features = (
+            int(model.projection.shape[0]) if model.projection is not None
+            else int(model.kept_dims.size)
+        )
+        self._shard_model = model
+        self._shard_model_features = features
+
+    def _shard_key(self, request: Optional[Dict[str, Any]]) -> Optional[int]:
+        if not self.shard_enabled or request is None:
+            return None
+        x = request.get("x")
+        if not isinstance(x, list) or not x or isinstance(x[0], (list, dict)):
+            return None  # batch (or garbage the replica will reject)
+        try:
+            row = np.asarray(x, dtype=np.float64)
+        except (ValueError, TypeError):
+            return None
+        if row.ndim != 1 or not np.all(np.isfinite(row)):
+            return None
+        self._sample_tick += 1
+        if self._sample_tick % 16 == 1:
+            # Reservoir of real traffic for rollout canary probes.
+            self._sample_rows.append(list(map(float, row)))
+        model = self._shard_model
+        if model is not None and row.size == self._shard_model_features:
+            try:
+                return int(model.cell_codes_for(row[None, :])[0])
+            except Exception:
+                pass  # fall through to the model-free key
+        quantized = np.floor(row / self.shard_resolution).astype(np.int64)
+        return int.from_bytes(
+            hashlib.blake2b(quantized.tobytes(), digest_size=8).digest(),
+            "little",
+        )
+
+    def probe_rows(self, n: int, n_features: int) -> List[List[float]]:
+        """Rows for canary baking: sampled live traffic, synthetic fallback.
+
+        Live samples represent what production actually sends (including
+        its dimensionality — the thing a mis-shaped new model breaks on);
+        the zero-vector fallback at the *current* feature count preserves
+        that property on an idle fleet.
+        """
+        rows = [r for r in self._sample_rows if len(r) == n_features]
+        if not rows:
+            rows = [[0.0] * n_features]
+        return [rows[i % len(rows)] for i in range(n)]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServeError("router already started")
+        self._shutdown = asyncio.Event()
+        self._admin_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for writer in list(self._writers):
+            writer.close()
+        for state in self._states.values():
+            state.pool.close_all()
+        self._server = None
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def set_endpoint(self, replica_id: str, host: str, port: int) -> None:
+        """Point an existing replica id at a new host:port (post-restart).
+
+        The id keeps its ring position, so the restarted replica takes
+        back its old shard; health state resets and the probe loop
+        re-admits it as soon as it answers.
+        """
+        state = self._states.get(replica_id)
+        if state is None:
+            raise ValidationError(f"unknown replica {replica_id!r}")
+        state.reset_endpoint(host, int(port), self.pool_size)
+
+    # -- health --------------------------------------------------------------
+
+    def _healthy_states(self) -> List[ReplicaState]:
+        return [
+            self._states[rid] for rid in sorted(self._states)
+            if self._states[rid].healthy
+        ]
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval_s)
+            await asyncio.gather(
+                *(self._probe_one(s) for s in list(self._states.values()))
+            )
+
+    async def _probe_one(self, state: ReplicaState) -> None:
+        try:
+            payload = await async_probe(
+                state.host, state.port, self.probe_timeout_s
+            )
+            if payload.get("status") == "draining":
+                raise ServeError("replica is draining")
+        except (ConnectionLostError, ServeError, ValueError):
+            self._m_probe_fail.labels(replica=state.id).inc()
+            self._note_failure(state)
+            return
+        load = float(payload.get("in_flight") or 0)
+        load += float(payload.get("queue_depth") or 0)
+        state.load_hint = 0.7 * state.load_hint + 0.3 * load
+        state.polled = payload
+        self._note_probe_success(state)
+
+    def _note_failure(self, state: ReplicaState) -> None:
+        """One failed probe or transport attempt against ``state``."""
+        state.readmit_streak = 0
+        state.consecutive_failures += 1
+        if state.healthy and state.consecutive_failures >= self.eject_after:
+            state.healthy = False
+            state.ejections += 1
+            self._m_ejections.labels(replica=state.id).inc()
+            self._m_healthy.set(len(self._healthy_states()))
+
+    def _note_probe_success(self, state: ReplicaState) -> None:
+        state.consecutive_failures = 0
+        if not state.healthy:
+            state.readmit_streak += 1
+            if state.readmit_streak >= self.readmit_after:
+                state.healthy = True
+                state.readmit_streak = 0
+                state.readmissions += 1
+                self._m_readmissions.labels(replica=state.id).inc()
+                self._m_healthy.set(len(self._healthy_states()))
+
+    # -- request path --------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line or not line.endswith(b"\n"):
+                    break
+                response, stop_after = await self._route_line(line)
+                writer.write(response)
+                await writer.drain()
+                if stop_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # client vanished
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _inspect(self, line: bytes) -> Tuple[Optional[str], Optional[Dict]]:
+        """Cheap op sniff; full JSON parse only when routing needs fields.
+
+        Predict lines from every client in this repo serialize ``op``
+        first, so the byte-prefix sniff catches the hot path. A parse is
+        still needed when the request may carry a tenant, or when it is
+        small enough to be a single point we want a shard key for; big
+        batch lines (> ``shard_parse_limit``) skip parsing entirely —
+        that is what keeps router CPU per request O(dims), not O(batch).
+        """
+        if line.startswith(_PREDICT_PREFIX):
+            need_parse = (
+                (self.quotas.enabled and b'"tenant"' in line)
+                or (self.shard_enabled and len(line) <= self.shard_parse_limit)
+            )
+            if not need_parse:
+                return "predict", None
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError:
+            return None, None
+        if not isinstance(request, dict):
+            return None, None
+        op = request.get("op")
+        return (op if isinstance(op, str) else None), request
+
+    @staticmethod
+    def _error_bytes(message: str, err: Optional[str] = None,
+                     retryable: bool = False) -> bytes:
+        payload: Dict[str, Any] = {"ok": False, "error": message}
+        if err is not None:
+            payload["err"] = err
+        if retryable:
+            payload["retryable"] = True
+        return json.dumps(payload).encode("utf-8") + b"\n"
+
+    async def _route_line(self, line: bytes) -> Tuple[bytes, bool]:
+        op, request = self._inspect(line)
+        if op is None:
+            return self._error_bytes("malformed JSON request"), False
+        if op == "predict":
+            return await self._route_predict(line, request), False
+        if op == "healthz":
+            return self._op_healthz(), False
+        if op == "stats":
+            return await self._op_stats(), False
+        if op == "metrics":
+            return self._op_metrics(), False
+        if op == "fleet-status":
+            return self._op_fleet_status(), False
+        if op in ("reload", "rollback", "shutdown") and not self.allow_admin:
+            return self._error_bytes(
+                f"admin op {op!r} is disabled on this router "
+                "(non-loopback bind without allow_admin)"
+            ), False
+        if op == "reload":
+            return await self._op_reload(request), False
+        if op == "rollback":
+            return await self._op_rollback(request), False
+        if op == "shutdown":
+            assert self._shutdown is not None
+            self._shutdown.set()
+            return b'{"ok": true, "stopping": true}\n', True
+        # Anything else ("model-info", future server ops): transparent
+        # pass-through to one healthy replica. Unknown mutability → no
+        # failover retry; the replica's own error answer is relayed.
+        return await self._forward_once(line), False
+
+    async def _route_predict(self, line: bytes,
+                             request: Optional[Dict[str, Any]]) -> bytes:
+        if self.quotas.enabled:
+            tenant = None if request is None else request.get("tenant")
+            try:
+                self.quotas.try_admit(tenant)
+            except ShedError as exc:
+                self._m_tenant_shed.labels(
+                    tenant="anonymous" if tenant is None else str(tenant)
+                ).inc()
+                return self._error_bytes(str(exc), err="shed", retryable=True)
+        key = self._shard_key(request)
+        tried: List[str] = []
+        for _ in range(self.max_failovers + 1):
+            state = self._pick(key, tried)
+            if state is None:
+                break
+            state.outstanding += 1
+            t0 = time.perf_counter()
+            try:
+                response = await self._forward(state, line)
+            except ConnectionLostError:
+                tried.append(state.id)
+                self._note_failure(state)
+                self._m_routed.labels(replica=state.id, outcome="failover").inc()
+                continue
+            finally:
+                state.outstanding -= 1
+            self._m_forward.observe(time.perf_counter() - t0)
+            state.consecutive_failures = 0
+            self._m_routed.labels(
+                replica=state.id, outcome=self._classify_response(response)
+            ).inc()
+            return response
+        self._m_unroutable.inc()
+        return self._error_bytes(
+            "no healthy replica available", err="unavailable", retryable=True
+        )
+
+    @staticmethod
+    def _classify_response(response: bytes) -> str:
+        if response.startswith(_OK_PREFIX):
+            return "ok"
+        # Failure responses are rare and small — a real parse is fine and
+        # gives exact shed/deadline/circuit accounting per replica.
+        try:
+            payload = json.loads(response)
+        except json.JSONDecodeError:  # pragma: no cover - defensive
+            return "error"
+        err = payload.get("err")
+        if err in ("shed", "deadline_exceeded", "circuit_open", "queue_full"):
+            return err
+        return "error"
+
+    def _pick(self, key: Optional[int],
+              tried: Sequence[str]) -> Optional[ReplicaState]:
+        healthy = [s for s in self._healthy_states() if s.id not in tried]
+        if not healthy:
+            # Desperation pass: with everything ejected (or tried), an
+            # ejected-but-maybe-back replica beats a guaranteed error.
+            healthy = [
+                s for s in self._states.values() if s.id not in tried
+            ]
+            if not healthy:
+                return None
+            return min(healthy, key=lambda s: s.score)
+        if len(healthy) == 1:
+            return healthy[0]
+        if key is not None:
+            try:
+                return self._pick_sharded(key, healthy)
+            except Exception:
+                # A shard-map failure must degrade to balanced routing,
+                # never surface as a dropped client connection.
+                pass
+        a, b = self._rng.sample(healthy, 2)
+        return a if a.score <= b.score else b
+
+    def _pick_sharded(self, key: int,
+                      healthy: List[ReplicaState]) -> ReplicaState:
+        # Bounded-load consistent hashing: the shard owner takes the
+        # request unless it is loaded past `factor × fleet mean`, in which
+        # case the request walks the ring to the next healthy replica.
+        total = sum(s.outstanding for s in healthy)
+        cap = max(
+            self.spill_min_headroom,
+            math.ceil(self.spill_factor * (total + 1) / len(healthy)),
+        )
+        allowed = [s.id for s in healthy]
+        owner: Optional[ReplicaState] = None
+        for node_id in self.ring.walk(key, only=allowed):
+            state = self._states[node_id]
+            if owner is None:
+                owner = state
+            if state.outstanding < cap:
+                if state is not owner:
+                    self._m_spill.labels(replica=state.id).inc()
+                return state
+        return owner if owner is not None else healthy[0]
+
+    async def _forward(self, state: ReplicaState, line: bytes) -> bytes:
+        """One request → one replica; returns the raw response line.
+
+        Any transport-level failure (connect, send, read, timeout, EOF)
+        raises :class:`ConnectionLostError` and poisons the connection —
+        never the replica's *response*, which is relayed verbatim.
+        """
+        conn = await state.pool.acquire()
+        try:
+            conn.writer.write(line)
+            await conn.writer.drain()
+            response = await asyncio.wait_for(
+                conn.reader.readline(), self.forward_timeout_s
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            state.pool.discard(conn)
+            reason = "timeout" if isinstance(exc, asyncio.TimeoutError) else "reset"
+            raise ConnectionLostError(
+                f"replica {state.id} connection lost: {exc}", reason=reason
+            ) from exc
+        if not response or not response.endswith(b"\n"):
+            state.pool.discard(conn)
+            raise ConnectionLostError(
+                f"replica {state.id} closed the connection",
+                reason="closed" if not response else "reset",
+            )
+        state.pool.release(conn)
+        return response
+
+    async def _forward_once(self, line: bytes) -> bytes:
+        state = self._pick(None, ())
+        if state is None:
+            self._m_unroutable.inc()
+            return self._error_bytes(
+                "no healthy replica available", err="unavailable",
+                retryable=True,
+            )
+        state.outstanding += 1
+        try:
+            return await self._forward(state, line)
+        except ConnectionLostError as exc:
+            self._note_failure(state)
+            return self._error_bytes(str(exc), err="unavailable",
+                                     retryable=True)
+        finally:
+            state.outstanding -= 1
+
+    async def admin_request(self, state: ReplicaState,
+                            payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Routed control-plane RPC to one specific replica (rollout path)."""
+        line = json.dumps(payload).encode("utf-8") + b"\n"
+        response = await self._forward(state, line)
+        return json.loads(response)
+
+    # -- local ops -----------------------------------------------------------
+
+    def _op_healthz(self) -> bytes:
+        healthy = self._healthy_states()
+        status = "serving" if healthy else "unavailable"
+        if healthy and len(healthy) < len(self._states):
+            status = "degraded"
+        payload = {
+            "ok": True,
+            "status": status,
+            "role": "fleet-router",
+            "healthy_replicas": len(healthy),
+            "replicas": len(self._states),
+            "rollout": self.rollout.state,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "fingerprints": {
+                s.id: s.polled.get("fingerprint")
+                for s in self._states.values() if s.polled
+            },
+        }
+        return json.dumps(payload).encode("utf-8") + b"\n"
+
+    async def _op_stats(self) -> bytes:
+        per_replica: Dict[str, Any] = {}
+        for state in self._healthy_states():
+            try:
+                per_replica[state.id] = await self.admin_request(
+                    state, {"op": "stats"}
+                )
+            except (ConnectionLostError, json.JSONDecodeError):
+                per_replica[state.id] = {"ok": False, "error": "unreachable"}
+        payload = {"ok": True, "fleet": self.fleet_snapshot(),
+                   "replicas": per_replica}
+        return json.dumps(payload).encode("utf-8") + b"\n"
+
+    def _op_metrics(self) -> bytes:
+        registries = [self.registry, default_registry()]
+        payload = {
+            "ok": True,
+            "prometheus": render_prometheus(registries),
+            "metrics": render_json(registries),
+        }
+        return json.dumps(payload).encode("utf-8") + b"\n"
+
+    def _op_fleet_status(self) -> bytes:
+        payload = {"ok": True, **self.fleet_snapshot(detail=True)}
+        return json.dumps(payload).encode("utf-8") + b"\n"
+
+    def fleet_snapshot(self, detail: bool = False) -> Dict[str, Any]:
+        """JSON-friendly router state (the ``fleet-status`` payload)."""
+        routed: Dict[str, Dict[str, int]] = {}
+        for sample in self._m_routed.snapshot()["samples"]:
+            if not sample["value"]:
+                continue
+            labels = sample["labels"]
+            routed.setdefault(labels["replica"], {})[labels["outcome"]] = int(
+                sample["value"]
+            )
+        spills = sum(
+            int(s["value"]) for s in self._m_spill.snapshot()["samples"]
+        )
+        snap: Dict[str, Any] = {
+            "healthy_replicas": len(self._healthy_states()),
+            "replicas": {
+                rid: self._states[rid].snapshot()
+                for rid in sorted(self._states)
+            },
+            "routed": routed,
+            "shard": {
+                "enabled": self.shard_enabled,
+                "keyed_by": (
+                    "cell_code" if self._shard_model is not None
+                    else "quantized_coords"
+                ),
+                "spills": spills,
+            },
+            "unroutable": int(self._m_unroutable.value),
+            "rollout": self.rollout.state,
+            "tenant_sheds": self.quotas.shed_counts(),
+        }
+        if detail:
+            snap["rollout_history"] = self.rollout.history
+        return snap
+
+    async def _op_reload(self, request: Optional[Dict[str, Any]]) -> bytes:
+        if request is None or not request.get("path"):
+            return self._error_bytes("reload request needs a 'path' field")
+        assert self._admin_lock is not None
+        if self._admin_lock.locked():
+            return self._error_bytes(
+                "a rollout is already in progress", err="rollout_busy"
+            )
+        async with self._admin_lock:
+            try:
+                summary = await self.rollout.run(
+                    str(request["path"]), tag=request.get("tag")
+                )
+            except ServeError as exc:
+                return self._error_bytes(str(exc), err="rollout_failed")
+        return json.dumps({"ok": True, **summary}).encode("utf-8") + b"\n"
+
+    async def _op_rollback(self, request: Optional[Dict[str, Any]]) -> bytes:
+        version = None if request is None else request.get("version")
+        results: Dict[str, Any] = {}
+        max_version = 0
+        fingerprint = None
+        for state in self._healthy_states():
+            payload: Dict[str, Any] = {"op": "rollback"}
+            if version is not None:
+                payload["version"] = version
+            try:
+                resp = await self.admin_request(state, payload)
+            except ConnectionLostError as exc:
+                results[state.id] = str(exc)
+                continue
+            results[state.id] = resp.get("version", resp.get("error"))
+            if resp.get("ok"):
+                max_version = max(max_version, int(resp["version"]))
+                fingerprint = resp.get("fingerprint")
+        if not max_version:
+            return self._error_bytes(f"rollback failed on every replica: "
+                                     f"{results}")
+        payload = {"ok": True, "version": max_version,
+                   "fingerprint": fingerprint, "replicas": results}
+        return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+class RouterHandle:
+    """A :class:`FleetRouter` running on a daemon thread (test/bench/CLI)."""
+
+    def __init__(self, router: FleetRouter, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.router = router
+        self.thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.router.bound_port is not None
+        return self.router.host, self.router.bound_port
+
+    def set_endpoint(self, replica_id: str, host: str, port: int,
+                     timeout: float = 10.0) -> None:
+        """Thread-safe endpoint update (the supervisor's restart hook)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.set_endpoint(replica_id, host, port), self._loop
+        )
+        future.result(timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.thread.is_alive():
+            try:
+                asyncio.run_coroutine_threadsafe(self.router.stop(), self._loop)
+            except RuntimeError:  # loop already closing on its own
+                pass
+            self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - watchdog only
+            raise ServeError("router thread failed to stop in time")
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def router_in_thread(replicas: Sequence[Tuple[str, str, int]],
+                     startup_timeout: float = 10.0,
+                     **kwargs) -> RouterHandle:
+    """Start a :class:`FleetRouter` on a background thread; block until bound.
+
+    The fleet twin of :func:`repro.serve.server.serve_in_thread`, with
+    the same startup-failure discipline: a bind error surfaces as
+    :class:`ServeError` here, never as a half-built handle.
+    """
+    router = FleetRouter(replicas, **kwargs)
+    started = threading.Event()
+    failure: Dict[str, BaseException] = {}
+    loop_holder: Dict[str, asyncio.AbstractEventLoop] = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder["loop"] = loop
+
+        async def _main():
+            await router.start()
+            started.set()  # only after a successful bind
+            await router.serve_until_shutdown()
+
+        try:
+            loop.run_until_complete(_main())
+        except BaseException as exc:  # surface bind errors to the caller
+            failure["exc"] = exc
+        finally:
+            started.set()
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-fleet-router",
+                              daemon=True)
+    thread.start()
+    if not started.wait(startup_timeout):
+        raise ServeError("router failed to start within timeout")
+    if "exc" in failure:
+        raise ServeError(f"router failed to start: {failure['exc']}")
+    return RouterHandle(router, thread, loop_holder["loop"])

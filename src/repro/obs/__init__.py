@@ -37,7 +37,7 @@ from repro.obs.registry import (
     default_registry,
     set_default_registry,
 )
-from repro.obs.report import comm_table, phase_table, run_obs_report
+from repro.obs.report import comm_table, fleet_table, phase_table, run_obs_report
 from repro.obs.trace import PhaseTracer, Span, trace
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "comm_table",
     "default_registry",
     "ensure_core_series",
+    "fleet_table",
     "phase_table",
     "render_json",
     "render_prometheus",

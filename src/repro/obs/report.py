@@ -31,6 +31,7 @@ __all__ = [
     "comm_table",
     "recovery_table",
     "overload_table",
+    "fleet_table",
 ]
 
 
@@ -195,6 +196,79 @@ def overload_table(reg: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def fleet_table(reg: MetricsRegistry) -> str:
+    """Render fleet-router counters: routing, spills, health, rollouts.
+
+    Pass a :class:`~repro.fleet.router.FleetRouter`'s ``registry``; the
+    process-default registry only carries these series if a router ran in
+    this process.
+    """
+    routed: Dict[str, Dict[str, int]] = {}
+    for s in _family_values(reg, "fleet_routed_total"):
+        if not s["value"]:
+            continue
+        labels = s["labels"]
+        routed.setdefault(labels["replica"], {})[labels["outcome"]] = int(
+            s["value"]
+        )
+    if not routed:
+        return "  (no fleet traffic routed)"
+    outcomes = sorted({o for per in routed.values() for o in per})
+    width = max(len("replica"), max(len(r) for r in routed))
+    header = f"  {'replica':<{width}}  " + "  ".join(
+        f"{o:>{max(len(o), 6)}}" for o in outcomes
+    )
+    lines = [header]
+    for replica in sorted(routed):
+        per = routed[replica]
+        lines.append(
+            f"  {replica:<{width}}  " + "  ".join(
+                f"{per.get(o, 0):>{max(len(o), 6)}}" for o in outcomes
+            )
+        )
+    spills = {
+        s["labels"]["replica"]: int(s["value"])
+        for s in _family_values(reg, "fleet_shard_spill_total")
+        if s["value"]
+    }
+    if spills:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(spills.items()))
+        lines.append(
+            f"  shard spills: {sum(spills.values()):,}  (to {detail})"
+        )
+    ejections = sum(
+        int(s["value"])
+        for s in _family_values(reg, "fleet_ejections_total")
+    )
+    readmissions = sum(
+        int(s["value"])
+        for s in _family_values(reg, "fleet_readmissions_total")
+    )
+    if ejections or readmissions:
+        lines.append(
+            f"  replica ejections: {ejections}  re-admissions: {readmissions}"
+        )
+    tenant_sheds = {
+        s["labels"]["tenant"]: int(s["value"])
+        for s in _family_values(reg, "fleet_tenant_shed_total")
+        if s["value"]
+    }
+    if tenant_sheds:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(tenant_sheds.items()))
+        lines.append(
+            f"  tenant-quota sheds: {sum(tenant_sheds.values()):,}  ({detail})"
+        )
+    rollouts = {
+        s["labels"]["outcome"]: int(s["value"])
+        for s in _family_values(reg, "fleet_rollouts_total")
+        if s["value"]
+    }
+    if rollouts:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(rollouts.items()))
+        lines.append(f"  rollouts: {detail}")
+    return "\n".join(lines)
+
+
 def run_obs_report(
     n_ranks: int = 3,
     n_frames: int = 160,
@@ -301,6 +375,9 @@ def run_obs_report(
         "",
         "Overload / stragglers (serve_shed_total / insitu_straggler_*):",
         overload_table(report_reg),
+        "",
+        "Fleet routing (fleet_routed_total / fleet_shard_spill_total):",
+        fleet_table(report_reg),
         "",
         f"  communicator total bytes sent (all ranks, incl. control): "
         f"{total_sent:,}",

@@ -37,7 +37,13 @@ from repro.serve.admission import (
 )
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import LabelCache
-from repro.serve.client import AsyncServeClient, PredictResult, ServeClient
+from repro.serve.client import (
+    AsyncServeClient,
+    PredictResult,
+    ServeClient,
+    async_probe,
+    probe,
+)
 from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.serve.server import (
@@ -59,6 +65,8 @@ __all__ = [
     "AsyncServeClient",
     "PredictResult",
     "ServeClient",
+    "async_probe",
+    "probe",
     "LoadReport",
     "run_closed_loop",
     "run_open_loop",

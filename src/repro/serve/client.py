@@ -24,14 +24,22 @@ import numpy as np
 
 from repro.errors import (
     CircuitOpenError,
+    ConnectionLostError,
     DeadlineExceededError,
+    FleetUnavailableError,
     QueueFullError,
     ServeError,
     ShedError,
 )
 from repro.obs import default_registry
 
-__all__ = ["ServeClient", "AsyncServeClient", "PredictResult"]
+__all__ = ["ServeClient", "AsyncServeClient", "PredictResult", "probe",
+           "async_probe", "PROBE_TIMEOUT_S"]
+
+#: Default budget for liveness probes: tight on purpose. A probe that
+#: cannot complete a healthz round trip this fast is evidence of trouble,
+#: and the router's ejection logic must not stall behind a slow probe.
+PROBE_TIMEOUT_S = 1.0
 
 #: Operations that are safe to retry on a broken connection: they do not
 #: mutate server state, so replaying one after an ambiguous failure (the
@@ -42,19 +50,9 @@ IDEMPOTENT_OPS = frozenset({"predict", "model-info", "stats", "healthz",
                             "metrics"})
 
 
-class _ConnectionLost(ServeError):
-    """Transport-level failure — retry candidate on idempotent ops.
-
-    ``reason`` distinguishes *why* the connection broke (``timeout`` /
-    ``reset`` / ``closed`` / ``refused``) so retries are counted under
-    distinct ``serve_client_retries_total`` label values — a fleet
-    retrying on timeouts (overload) looks very different from one
-    retrying on resets (crashing servers).
-    """
-
-    def __init__(self, message: str, reason: str = "reset"):
-        super().__init__(message)
-        self.reason = reason
+# Historic internal name; the typed error now lives in repro.errors so
+# the fleet router and tests can catch it without importing a private.
+_ConnectionLost = ConnectionLostError
 
 
 def _lost_reason(exc: OSError) -> str:
@@ -104,6 +102,7 @@ _ERR_TYPES = {
     "shed": ShedError,
     "deadline_exceeded": DeadlineExceededError,
     "circuit_open": CircuitOpenError,
+    "unavailable": FleetUnavailableError,
 }
 
 
@@ -275,10 +274,13 @@ class ServeClient:
         self,
         x: Union[np.ndarray, Sequence[float]],
         deadline_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> PredictResult:
         payload: Dict[str, Any] = {"op": "predict", "x": _as_payload(x)}
         if deadline_ms is not None:
             payload["deadline_ms"] = float(deadline_ms)
+        if tenant is not None:
+            payload["tenant"] = str(tenant)
         response = _raise_on_error(self._request_idempotent(payload))
         return _predict_result(response)
 
@@ -295,10 +297,37 @@ class ServeClient:
     def healthz(self) -> Dict[str, Any]:
         return _raise_on_error(self._request_idempotent({"op": "healthz"}))
 
+    def probe(self, timeout: float = PROBE_TIMEOUT_S) -> Dict[str, Any]:
+        """Tight-deadline liveness probe on a *fresh* connection.
+
+        Unlike :meth:`healthz` this does not reuse (or disturb) this
+        client's pipelined connection and never waits ``self.timeout`` —
+        a dead replica answers in at most ``timeout`` seconds with a
+        typed :class:`~repro.errors.ConnectionLostError`. See
+        :func:`probe`.
+        """
+        # Resolves to the module-level probe(): class attributes are not
+        # in scope inside a method body.
+        return probe(self.host, self.port, timeout=timeout)
+
     def reload(self, path: str, tag: Optional[str] = None) -> int:
         """Ask the server to hot-swap in a model file; returns new version."""
         response = _raise_on_error(self.request({"op": "reload", "path": str(path),
                                                  "tag": tag}))
+        return int(response["version"])
+
+    def rollback(self, version: Optional[int] = None) -> int:
+        """Ask the server to republish a retained older model version.
+
+        ``version=None`` rolls back to the previously published record;
+        an explicit version must still be in the registry's history.
+        Admin-gated like ``reload``. Returns the *new* version number
+        (versions only move forward, even for a rollback).
+        """
+        payload: Dict[str, Any] = {"op": "rollback"}
+        if version is not None:
+            payload["version"] = int(version)
+        response = _raise_on_error(self.request(payload))
         return int(response["version"])
 
     def shutdown(self) -> None:
@@ -332,22 +361,47 @@ class AsyncServeClient:
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         if self._reader is None or self._writer is None:
             raise ServeError("client is not connected; call connect() first")
-        async with self._lock:
-            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
-            await self._writer.drain()
-            line = await self._reader.readline()
+        # A replica that died between health probes must surface as a
+        # typed ConnectionLostError here, never as a raw
+        # ConnectionResetError / BrokenPipeError from the socket layer.
+        try:
+            async with self._lock:
+                writer, reader = self._writer, self._reader
+                if writer is None or reader is None:
+                    # Another task tore this connection down (timeout
+                    # recovery closes + reconnects) between our check
+                    # above and acquiring the lock.
+                    raise ConnectionLostError(
+                        "connection closed while request was queued",
+                        reason="closed",
+                    )
+                writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connection to server lost: {exc}", reason=_lost_reason(exc)
+            ) from exc
         if not line or not line.endswith(b"\n"):
-            raise ServeError("server closed the connection")
+            reason = "closed" if not line else "reset"
+            raise ConnectionLostError(
+                "server closed the connection"
+                + ("" if not line else " mid-response"),
+                reason=reason,
+            )
         return json.loads(line)
 
     async def predict(
         self,
         x: Union[np.ndarray, Sequence[float]],
         deadline_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> PredictResult:
         payload: Dict[str, Any] = {"op": "predict", "x": _as_payload(x)}
         if deadline_ms is not None:
             payload["deadline_ms"] = float(deadline_ms)
+        if tenant is not None:
+            payload["tenant"] = str(tenant)
         response = _raise_on_error(await self.request(payload))
         return _predict_result(response)
 
@@ -375,3 +429,85 @@ class AsyncServeClient:
 
     async def __aexit__(self, *exc) -> None:
         await self.close()
+
+
+def probe(host: str, port: int,
+          timeout: float = PROBE_TIMEOUT_S) -> Dict[str, Any]:
+    """One tight-deadline liveness probe: connect, healthz, disconnect.
+
+    The shared building block for the fleet router's health loop, the
+    replica supervisor, and tests — one definition of "is this replica
+    alive", with one timeout discipline. Uses a fresh connection on
+    purpose: a cached connection can look healthy while the listener is
+    gone, and accepting a new connection is part of what "alive" means.
+
+    Returns the healthz payload. Raises :class:`ConnectionLostError`
+    (``reason`` = ``refused`` / ``timeout`` / ``reset`` / ``closed``) on
+    a dead or wedged server and :class:`ServeError` on a healthz-level
+    failure — never a raw socket exception.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            fh = sock.makefile("rwb")
+            fh.write(b'{"op": "healthz"}\n')
+            fh.flush()
+            line = fh.readline()
+    except OSError as exc:
+        raise ConnectionLostError(
+            f"probe of {host}:{port} failed: {exc}", reason=_lost_reason(exc)
+        ) from exc
+    if not line or not line.endswith(b"\n"):
+        raise ConnectionLostError(
+            f"probe of {host}:{port}: server closed the connection",
+            reason="closed" if not line else "reset",
+        )
+    return _raise_on_error(json.loads(line))
+
+
+async def async_probe(host: str, port: int,
+                      timeout: float = PROBE_TIMEOUT_S) -> Dict[str, Any]:
+    """Asyncio twin of :func:`probe` (same semantics, same typed errors).
+
+    The whole probe — connect, healthz round trip, close — shares one
+    ``timeout`` budget, so a wedged replica costs the router's health
+    loop a bounded, predictable amount of time.
+    """
+
+    async def _run() -> Dict[str, Any]:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"probe of {host}:{port} failed: {exc}",
+                reason=_lost_reason(exc),
+            ) from exc
+        try:
+            writer.write(b'{"op": "healthz"}\n')
+            await writer.drain()
+            line = await reader.readline()
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"probe of {host}:{port} failed: {exc}",
+                reason=_lost_reason(exc),
+            ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - already dead
+                pass
+        if not line or not line.endswith(b"\n"):
+            raise ConnectionLostError(
+                f"probe of {host}:{port}: server closed the connection",
+                reason="closed" if not line else "reset",
+            )
+        return _raise_on_error(json.loads(line))
+
+    try:
+        return await asyncio.wait_for(_run(), timeout)
+    except asyncio.TimeoutError:
+        raise ConnectionLostError(
+            f"probe of {host}:{port} timed out after {timeout}s",
+            reason="timeout",
+        ) from None

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import (
     CircuitOpenError,
+    ConnectionLostError,
     DeadlineExceededError,
     QueueFullError,
     ServeError,
@@ -162,9 +163,11 @@ async def _send_one(
             await client.connect()
         except ServeError:
             pass  # next send will fail and be bucketed as "error"
-    except OSError as exc:
+    except (ConnectionLostError, OSError) as exc:
         # Transport died under us (e.g. the server hard-closed during a
-        # drain cutoff). Still exactly one terminal outcome per request.
+        # drain cutoff, or a replica was killed). The client surfaces it
+        # typed; either way: exactly one terminal outcome per request,
+        # then reconnect so the next request gets a fresh verdict.
         report._record_failure(exc)
         await client.close()
         try:

@@ -104,6 +104,7 @@ class ModelRegistry:
         self._next_version = 1
         self._subscribers: List[Callable[[ModelRecord], None]] = []
         self.swaps = 0
+        self.subscriber_errors = 0
 
     # -- write side ----------------------------------------------------------
 
@@ -136,7 +137,16 @@ class ModelRegistry:
             self._current = record
             subscribers = list(self._subscribers)
         for callback in subscribers:
-            callback(record)
+            # A raising subscriber must not wedge publication: the swap
+            # already happened (readers see the new record), the remaining
+            # subscribers still deserve their notification, and the
+            # publisher (a refresh thread, a reload RPC) must get its
+            # version back. Failures are counted, not propagated.
+            try:
+                callback(record)
+            except Exception:
+                with self._lock:
+                    self.subscriber_errors += 1
         return record.version
 
     def rollback(self, version: Optional[int] = None) -> int:

@@ -11,11 +11,16 @@ per line, one response per line::
     {"op": "metrics"}                                # Prometheus text + JSON
     {"op": "healthz"}
     {"op": "reload", "path": "model.json", "tag": "nightly"}   # admin
+    {"op": "rollback"}                                         # admin
+    {"op": "rollback", "version": 3}                           # admin
     {"op": "shutdown"}                                         # admin
 
-Admin ops (``reload``, ``shutdown``) are served only on loopback binds
-unless ``allow_admin=True`` — anyone who can reach the socket could
-otherwise load arbitrary files or stop the process.
+Admin ops (``reload``, ``rollback``, ``shutdown``) are served only on
+loopback binds unless ``allow_admin=True`` — anyone who can reach the
+socket could otherwise load arbitrary files, swap models, or stop the
+process. ``rollback`` republishes a retained older registry version
+(fresh version number, old weights) — the fleet rollout manager's
+escape hatch when a canary regresses.
 
 Responses always carry ``"ok"``; predict responses carry ``"labels"``,
 ``"version"`` and ``"fingerprint"`` — the exact model version that
@@ -311,7 +316,7 @@ class ModelServer:
                 return {"ok": True, **self._metrics_payload()}
             if op == "healthz":
                 return self._op_healthz()
-            if op in ("reload", "shutdown") and not self.allow_admin:
+            if op in ("reload", "rollback", "shutdown") and not self.allow_admin:
                 self.stats.record_error()
                 return {
                     "ok": False,
@@ -320,6 +325,8 @@ class ModelServer:
                 }
             if op == "reload":
                 return await self._op_reload(request)
+            if op == "rollback":
+                return self._op_rollback(request)
             if op == "shutdown":
                 assert self._shutdown is not None
                 self._shutdown.set()
@@ -452,6 +459,20 @@ class ModelServer:
             # currently published model keeps serving.
             raise ServeError(f"reload failed for {path!r}: {exc}") from None
         return {"ok": True, "version": version}
+
+    def _op_rollback(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        version = request.get("version")
+        if version is not None and (
+            isinstance(version, bool) or not isinstance(version, int)
+        ):
+            raise ValidationError("'version' must be an integer when given")
+        new_version = self.registry.rollback(version)
+        record = self.registry.current()
+        return {
+            "ok": True,
+            "version": new_version,
+            "fingerprint": record.fingerprint,
+        }
 
     def _stats_payload(self) -> Dict[str, Any]:
         payload = self.stats.snapshot()

@@ -10,7 +10,7 @@ from repro.util.validation import (
     check_probability,
     check_in_range,
 )
-from repro.util.timers import Timer, TimingRegistry
+from repro.util.timers import Timer
 from repro.util.chunking import chunk_slices, balanced_counts
 
 __all__ = [
@@ -23,7 +23,6 @@ __all__ = [
     "check_probability",
     "check_in_range",
     "Timer",
-    "TimingRegistry",
     "chunk_slices",
     "balanced_counts",
 ]

@@ -1,31 +1,18 @@
-"""Lightweight timing utilities used by the benchmark harness.
+"""Lightweight timing utilities.
 
-`perf_counter`-based; a :class:`TimingRegistry` aggregates named sections so
-experiment drivers can report per-phase breakdowns (project / bin / comm /
-partition / assign) the way the paper's complexity analysis slices the
-algorithm.
-
-.. deprecated::
-    :class:`TimingRegistry` is kept for the benchmark harness's existing
-    call sites but is now a thin shim over the :mod:`repro.obs` metrics
-    registry: every :meth:`TimingRegistry.add` also lands in the obs
-    default registry as ``timing_section_seconds_total{section=...}`` /
-    ``timing_section_calls_total{section=...}``, so legacy section timings
-    show up in the same ``metrics`` scrape and ``obs-report`` output as
-    phase spans. New code should use :func:`repro.obs.trace.span` (nested
-    phase paths) or the registry directly instead of this class.
+One context-manager stopwatch, ``perf_counter``-based. Aggregated
+per-section timing lives in :mod:`repro.obs` — use
+:func:`repro.obs.trace.span` (nested phase paths land in
+``phase_seconds_total``) or a registry counter directly. The old
+``TimingRegistry`` shim that bridged legacy section timings into the obs
+registry has been removed; nothing outside its own tests used it.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
 
-from repro.obs import default_registry
-
-__all__ = ["Timer", "TimingRegistry"]
+__all__ = ["Timer"]
 
 
 class Timer:
@@ -49,67 +36,3 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = time.perf_counter() - self._start
-
-
-@dataclass
-class TimingRegistry:
-    """Accumulates wall-clock time per named section across repetitions.
-
-    .. deprecated:: see the module docstring — this is a compatibility
-        shim; it mirrors every sample into the :mod:`repro.obs` default
-        registry and new code should record there directly.
-    """
-
-    sections: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
-
-    def section(self, name: str) -> "_Section":
-        """Return a context manager that records into section ``name``."""
-        return _Section(self, name)
-
-    def add(self, name: str, seconds: float) -> None:
-        seconds = float(seconds)
-        self.sections[name].append(seconds)
-        reg = default_registry()
-        if reg.enabled:
-            reg.counter(
-                "timing_section_seconds_total",
-                "Seconds recorded through the legacy TimingRegistry shim.",
-                ("section",),
-            ).labels(section=name).inc(max(seconds, 0.0))
-            reg.counter(
-                "timing_section_calls_total",
-                "Samples recorded through the legacy TimingRegistry shim.",
-                ("section",),
-            ).labels(section=name).inc()
-
-    def total(self, name: str) -> float:
-        return float(sum(self.sections.get(name, ())))
-
-    def mean(self, name: str) -> float:
-        vals = self.sections.get(name, ())
-        return float(sum(vals) / len(vals)) if vals else 0.0
-
-    def names(self) -> Iterator[str]:
-        return iter(self.sections)
-
-    def summary(self) -> Dict[str, float]:
-        """Total seconds per section, sorted descending."""
-        totals = {name: self.total(name) for name in self.sections}
-        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
-
-    def clear(self) -> None:
-        self.sections.clear()
-
-
-class _Section:
-    def __init__(self, registry: TimingRegistry, name: str) -> None:
-        self._registry = registry
-        self._name = name
-        self._start = 0.0
-
-    def __enter__(self) -> "_Section":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._registry.add(self._name, time.perf_counter() - self._start)

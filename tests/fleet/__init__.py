@@ -1,0 +1,1 @@
+"""Fleet-tier tests (router, sharding, quotas, rollout, supervisor)."""

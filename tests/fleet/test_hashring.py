@@ -1,0 +1,89 @@
+"""Consistent-hash ring: determinism, balance, minimal remap, spill order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.fleet.hashring import ConsistentHashRing
+
+
+def _ring(nodes, vnodes=64):
+    ring = ConsistentHashRing(vnodes=vnodes)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+def test_owner_is_deterministic_across_instances():
+    a = _ring(["r0", "r1", "r2"])
+    b = _ring(["r2", "r0", "r1"])  # insertion order must not matter
+    assert [a.owner(k) for k in range(500)] == [b.owner(k) for k in range(500)]
+
+
+def test_membership_bookkeeping():
+    ring = _ring(["r0", "r1"])
+    assert ring.nodes() == ["r0", "r1"]
+    assert len(ring) == 2 and "r0" in ring and "rX" not in ring
+    with pytest.raises(ValidationError):
+        ring.add("r0")
+    ring.remove("r0")
+    assert ring.nodes() == ["r1"]
+    with pytest.raises(ValidationError):
+        ring.remove("r0")
+    assert _ring([]).owner(7) is None
+
+
+def test_keyspace_roughly_balanced():
+    ring = _ring(["r0", "r1", "r2", "r3"], vnodes=128)
+    shares = [ring.share_of_keyspace(f"r{i}") for i in range(4)]
+    assert abs(sum(shares) - 1.0) < 1e-9
+    # 128 vnodes keeps the max/min spread modest; exact balance is not
+    # the claim, stability and O(1/N) shares are.
+    assert all(0.10 < s < 0.45 for s in shares)
+
+
+def test_remove_remaps_only_the_removed_nodes_keys():
+    ring = _ring(["r0", "r1", "r2", "r3"])
+    before = {k: ring.owner(k) for k in range(2000)}
+    ring.remove("r2")
+    after = {k: ring.owner(k) for k in range(2000)}
+    moved = [k for k in before if before[k] != after[k]]
+    assert moved, "removing a node must remap its keys"
+    # Consistent hashing's defining property: only r2's keys moved.
+    assert all(before[k] == "r2" for k in moved)
+
+
+def test_walk_yields_distinct_nodes_owner_first():
+    ring = _ring(["r0", "r1", "r2"])
+    for key in (0, 17, 123456):
+        walk = list(ring.walk(key))
+        assert walk[0] == ring.owner(key)
+        assert sorted(walk) == ["r0", "r1", "r2"]
+
+
+def test_walk_only_restricts_but_preserves_order():
+    ring = _ring(["r0", "r1", "r2", "r3"])
+    for key in range(50):
+        full = list(ring.walk(key))
+        healthy = ["r0", "r2"]
+        restricted = list(ring.walk(key, only=healthy))
+        assert restricted == [n for n in full if n in healthy]
+
+
+def test_vnodes_validation():
+    with pytest.raises(ValidationError):
+        ConsistentHashRing(vnodes=0)
+
+
+def test_keys_wider_than_64_bits():
+    # Cell codes pack one bin index per projected dim into a single int,
+    # so high-dimensional models routinely exceed 64 bits. The ring must
+    # place them deterministically, not overflow.
+    ring = _ring(["r0", "r1", "r2"])
+    for key in (2**63, 2**200 + 17, -(2**90), 10**100):
+        assert ring.owner(key) in ("r0", "r1", "r2")
+        assert ring.owner(key) == ring.owner(key)
+        walk = list(ring.walk(key))
+        assert walk[0] == ring.owner(key)
+        assert sorted(walk) == ["r0", "r1", "r2"]

@@ -1,0 +1,84 @@
+"""ReplicaSupervisor: spawn/kill/restart semantics in both modes.
+
+Process-mode startup costs ~1s per replica (a full interpreter + model
+load), so these tests keep fleets to 1–2 replicas; the fleet CI job and
+``fleet-bench`` exercise bigger process fleets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionLostError, ServeError, ValidationError
+from repro.fleet import ReplicaSupervisor
+from repro.serve import ServeClient, probe
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        ReplicaSupervisor(mode="coroutine")
+    with pytest.raises(ValidationError):
+        ReplicaSupervisor("m.json", n_replicas=0)
+    with pytest.raises(ValidationError):
+        ReplicaSupervisor(mode="process")  # needs model_path
+    with pytest.raises(ValidationError):
+        ReplicaSupervisor(mode="thread")  # needs model_path or model
+    with pytest.raises(ValidationError):
+        ReplicaSupervisor(model=object(), mode="thread")._get("r9")
+
+
+def test_thread_mode_ids_and_endpoints(fleet_model):
+    with ReplicaSupervisor(model=fleet_model, mode="thread",
+                           n_replicas=3) as sup:
+        endpoints = sup.start()
+        assert [rid for rid, _, _ in endpoints] == ["r0", "r1", "r2"]
+        assert len({port for _, _, port in endpoints}) == 3
+        assert all(sup.is_alive(rid) for rid, _, _ in endpoints)
+        sup.kill("r1")
+        assert not sup.is_alive("r1")
+        host, port = sup.restart("r1")
+        assert sup.is_alive("r1")
+        assert ("r1", host, port) in sup.endpoints()
+
+
+def test_process_mode_spawn_probe_kill_restart(model_paths, small_gaussians):
+    x, _ = small_gaussians
+    with ReplicaSupervisor(model_paths["v1"], n_replicas=1,
+                           mode="process") as sup:
+        (rid, host, port), = sup.start()
+        payload = probe(host, port)
+        assert payload["status"] == "serving"
+        with ServeClient(host, port) as client:
+            assert client.predict(x[0]).label >= 0
+        assert sup.is_alive(rid)
+        sup.kill(rid)
+        assert not sup.is_alive(rid)
+        with pytest.raises(ConnectionLostError):
+            probe(host, port)
+        new_host, new_port = sup.restart(rid)
+        assert sup.is_alive(rid)
+        assert probe(new_host, new_port)["status"] == "serving"
+        assert sup._replicas[rid].restarts == 1
+        assert "serving model" in sup.diagnostics(rid)
+
+
+def test_check_and_restart_revives_dead_replicas(model_paths):
+    with ReplicaSupervisor(model_paths["v1"], n_replicas=2,
+                           mode="process") as sup:
+        sup.start()
+        assert sup.check_and_restart() == []
+        sup.kill("r0")
+        assert sup.check_and_restart() == ["r0"]
+        assert sup.is_alive("r0")
+
+
+def test_process_startup_failure_surfaces_diagnostics(tmp_path):
+    bogus = tmp_path / "not-a-model.json"
+    bogus.write_text("{}")
+    sup = ReplicaSupervisor(str(bogus), n_replicas=1, mode="process",
+                            startup_timeout=30.0)
+    try:
+        with pytest.raises(ServeError, match="failed to announce a port"):
+            sup.start()
+    finally:
+        sup.stop()

@@ -1,0 +1,98 @@
+"""probe()/async_probe(): tight-deadline health checks with typed errors.
+
+S1 contract: a dead or unreachable server surfaces as
+:class:`ConnectionLostError` (a :class:`ServeError` with a ``reason``),
+never as a raw ``OSError``/``ConnectionResetError`` — the router, the
+supervisor, and operator scripts all branch on the same type.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.errors import ConnectionLostError, ServeError
+from repro.serve import ModelRegistry, ServeClient, serve_in_thread
+from repro.serve.client import PROBE_TIMEOUT_S, async_probe, probe
+
+
+@pytest.fixture
+def live_server(served_model):
+    registry = ModelRegistry()
+    registry.publish(served_model, tag="probe-test")
+    with serve_in_thread(registry) as handle:
+        yield handle
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_probe_live_server(live_server):
+    payload = probe(*live_server.address)
+    assert payload["status"] == "serving"
+    assert payload["version"] == 1
+    assert payload["fingerprint"]
+
+
+def test_probe_dead_port_is_typed(live_server):
+    port = _free_port()  # freed on context exit; nothing listens
+    with pytest.raises(ConnectionLostError) as excinfo:
+        probe("127.0.0.1", port, timeout=0.5)
+    assert isinstance(excinfo.value, ServeError)
+    assert excinfo.value.reason in ("refused", "reset", "timeout")
+
+
+def test_probe_uses_a_fresh_connection(live_server):
+    # Two probes must not share state: each opens, round-trips, closes.
+    first = probe(*live_server.address)
+    second = probe(*live_server.address)
+    assert first["status"] == second["status"] == "serving"
+
+
+def test_serve_client_probe_method(live_server):
+    with ServeClient(*live_server.address) as client:
+        payload = client.probe()
+    assert payload["status"] == "serving"
+
+
+def test_async_probe_live_and_dead(live_server):
+    async def _go():
+        ok = await async_probe(*live_server.address)
+        assert ok["status"] == "serving"
+        with pytest.raises(ConnectionLostError):
+            await async_probe("127.0.0.1", _free_port(), timeout=0.5)
+
+    asyncio.run(_go())
+
+
+def test_probe_timeout_is_tight():
+    # An unroutable-but-not-refusing address must fail within the probe
+    # deadline, not a TCP connect timeout measured in minutes.
+    import time
+
+    t0 = time.perf_counter()
+    with pytest.raises(ConnectionLostError):
+        probe("10.255.255.1", 9, timeout=0.3)
+    assert time.perf_counter() - t0 < 5.0
+    assert PROBE_TIMEOUT_S <= 2.0  # the shared default stays tight
+
+
+def test_killed_server_mid_session_is_typed(served_model):
+    registry = ModelRegistry()
+    registry.publish(served_model)
+    handle = serve_in_thread(registry)
+    client = ServeClient(*handle.address)
+    try:
+        assert client.request({"op": "healthz"})["ok"]
+        handle.stop()
+        with pytest.raises(ConnectionLostError) as excinfo:
+            for _ in range(5):
+                client.request({"op": "healthz"})
+        assert excinfo.value.reason in ("closed", "reset", "refused")
+    finally:
+        client.close()

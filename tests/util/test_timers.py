@@ -2,7 +2,7 @@
 
 import time
 
-from repro.util.timers import Timer, TimingRegistry
+from repro.util.timers import Timer
 
 
 class TestTimer:
@@ -16,37 +16,12 @@ class TestTimer:
             time.sleep(0.01)
         assert t.elapsed >= 0.009
 
+    def test_timing_registry_shim_is_gone(self):
+        # The deprecated TimingRegistry bridge was removed; phase timing
+        # goes through repro.obs (trace.span / registry counters) now.
+        import repro.util
+        import repro.util.timers as timers
 
-class TestTimingRegistry:
-    def test_section_accumulates(self):
-        reg = TimingRegistry()
-        with reg.section("a"):
-            pass
-        with reg.section("a"):
-            pass
-        assert len(reg.sections["a"]) == 2
-
-    def test_total_and_mean(self):
-        reg = TimingRegistry()
-        reg.add("x", 1.0)
-        reg.add("x", 3.0)
-        assert reg.total("x") == 4.0
-        assert reg.mean("x") == 2.0
-
-    def test_missing_section_zero(self):
-        reg = TimingRegistry()
-        assert reg.total("nope") == 0.0
-        assert reg.mean("nope") == 0.0
-
-    def test_summary_sorted_descending(self):
-        reg = TimingRegistry()
-        reg.add("small", 0.1)
-        reg.add("big", 5.0)
-        keys = list(reg.summary().keys())
-        assert keys == ["big", "small"]
-
-    def test_clear(self):
-        reg = TimingRegistry()
-        reg.add("x", 1.0)
-        reg.clear()
-        assert list(reg.names()) == []
+        assert not hasattr(timers, "TimingRegistry")
+        assert not hasattr(repro.util, "TimingRegistry")
+        assert "TimingRegistry" not in repro.util.__all__
