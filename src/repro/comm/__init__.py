@@ -11,7 +11,9 @@ collectives over small numpy buffers, so this package provides:
   demonstrate the distributed claims),
 - ring-topology collectives (the paper notes KeyBin2 also works on a ring),
 - per-rank traffic accounting so the O(2·K·N_rp·B) communication claim can
-  be measured rather than asserted, and
+  be measured rather than asserted,
+- a zero-copy shared-memory transport for large array payloads between
+  process ranks (:mod:`repro.comm.shm`), and
 - an optional mpi4py adapter so the same SPMD program runs unmodified on a
   real cluster.
 """
@@ -22,6 +24,13 @@ from repro.comm.base import Communicator, ReduceOp
 from repro.comm.serial import SerialComm
 from repro.comm.mailbox import MailboxComm
 from repro.comm.membership import agree_on_survivors, agreement_timeout_for
+from repro.comm.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    ShmArrayRef,
+    open_array,
+    share_array,
+    unlink_ref,
+)
 from repro.comm.traffic import TrafficStats
 from repro.comm.spmd import run_spmd, spmd_available_executors
 from repro.comm.faults import (
@@ -51,6 +60,11 @@ __all__ = [
     "ReduceOp",
     "SerialComm",
     "MailboxComm",
+    "DEFAULT_SHM_THRESHOLD",
+    "ShmArrayRef",
+    "share_array",
+    "open_array",
+    "unlink_ref",
     "TrafficStats",
     "run_spmd",
     "spmd_available_executors",

@@ -61,6 +61,7 @@ from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.comm.base import Communicator
+from repro.comm.shm import ShmArrayRef, open_array, share_array, shareable
 from repro.errors import CommError, RankFailedError
 
 __all__ = ["MailboxComm"]
@@ -118,6 +119,13 @@ class MailboxComm(Communicator):
         extends the hard deadline. ``None`` (default) disables probing —
         behavior is exactly the single-deadline protocol of earlier
         versions. Must be smaller than ``timeout`` to have any effect.
+    shm_threshold:
+        When set, top-level ndarray payloads of at least this many bytes
+        travel through POSIX shared memory (:mod:`repro.comm.shm`): the
+        queue carries only a tiny descriptor and the receiver maps the
+        data zero-copy. ``None`` (default, and always for the threaded
+        executor, which already shares an address space) keeps everything
+        on the pickle path.
     """
 
     def __init__(
@@ -128,15 +136,19 @@ class MailboxComm(Communicator):
         timeout: Optional[float] = None,
         injector: Optional[Any] = None,
         suspicion_timeout: Optional[float] = None,
+        shm_threshold: Optional[int] = None,
     ):
         super().__init__(rank, size)
         if len(inboxes) < size:
             raise CommError(f"need {size} inboxes, got {len(inboxes)}")
         if suspicion_timeout is not None and suspicion_timeout <= 0:
             raise CommError("suspicion_timeout must be > 0 (or None)")
+        if shm_threshold is not None and shm_threshold < 1:
+            raise CommError("shm_threshold must be >= 1 (or None)")
         self._inboxes = inboxes
         self._timeout = timeout
         self._suspicion_timeout = suspicion_timeout
+        self._shm_threshold = shm_threshold
         # Shared (dict, not scalars) with shrunken views so straggler
         # accounting is cumulative across recovery epochs.
         self._straggler = {"waits": 0, "wait_s": 0.0}
@@ -186,7 +198,9 @@ class MailboxComm(Communicator):
         dest_phys = self._physical[dest]
         if self.fault_injector is not None:
             if not self.fault_injector.on_send(dest_phys, tag):
-                return  # injected message drop
+                return  # injected message drop (before shm: nothing to leak)
+        if self._shm_threshold is not None and shareable(obj, self._shm_threshold):
+            obj = share_array(obj)
         self._inboxes[dest_phys].put((self._my_physical, self._wire_tag(tag), obj))
 
     def _recv_impl(self, source: int, tag: int) -> Any:
@@ -289,6 +303,11 @@ class MailboxComm(Communicator):
                 src, msg_tag, payload = self._get(wait)
             except TimeoutError:
                 continue  # re-evaluate suspicion / hard deadlines
+            if isinstance(payload, ShmArrayRef):
+                # Unwrap at the earliest possible moment — the attach also
+                # unlinks the segment, so even a message parked in the
+                # pending store can no longer leak its backing memory.
+                payload = open_array(payload)
             if msg_tag == FAILURE_TAG:
                 # Epoch-independent: a dying rank announces with the raw tag.
                 if src not in self._dead:
@@ -380,6 +399,27 @@ class MailboxComm(Communicator):
         """Physical ranks whose failure sentinels this rank has observed."""
         return dict(self._failure_notices)
 
+    def drain_shm_refs(self) -> int:
+        """Teardown sweep: reclaim shm segments of never-received messages.
+
+        Empties this rank's inbox (discarding the messages — call only
+        when the SPMD program is over) and unlinks the segment behind any
+        :class:`~repro.comm.shm.ShmArrayRef` found. Returns the number of
+        segments reclaimed. Refs already drained into the pending store
+        were unwrapped (and their segments unlinked) on arrival, so only
+        the raw queue needs sweeping.
+        """
+        from repro.comm.shm import unlink_ref
+
+        reclaimed = 0
+        while True:
+            try:
+                _src, _tag, payload = self._get(timeout=0.01)
+            except Exception:
+                return reclaimed
+            if isinstance(payload, ShmArrayRef) and unlink_ref(payload):
+                reclaimed += 1
+
     def _get(self, timeout: Optional[float]) -> Tuple[int, int, Any]:
         queue = self._inboxes[self._my_physical]
         if timeout is None:
@@ -456,6 +496,7 @@ class MailboxComm(Communicator):
         child._inboxes = self._inboxes
         child._timeout = self._timeout
         child._suspicion_timeout = self._suspicion_timeout
+        child._shm_threshold = self._shm_threshold
         child._straggler = self._straggler
         child._pending = self._pending
         child.fault_injector = self.fault_injector

@@ -2,8 +2,10 @@
 
 Gives each rank a real OS process (its own address space and GIL), which is
 the honest analogue of the paper's MPI deployment on a single node. Ranks
-communicate through :class:`multiprocessing.Queue` mailboxes; payloads are
-pickled, and numpy arrays ride through pickle's buffer protocol.
+communicate through :class:`multiprocessing.Queue` mailboxes; small payloads
+are pickled, and top-level numpy arrays at or above ``shm_threshold`` bytes
+travel zero-copy through POSIX shared memory (:mod:`repro.comm.shm`) — the
+queue then carries only a ~100-byte descriptor instead of the data.
 
 The SPMD function and its arguments must be picklable (i.e. defined at
 module top level) — the same constraint ``mpiexec`` imposes by construction.
@@ -28,6 +30,7 @@ import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.comm.mailbox import FAILURE_TAG, MailboxComm
+from repro.comm.shm import DEFAULT_SHM_THRESHOLD, ShmArrayRef, unlink_ref
 from repro.errors import CommError, RankFailedError
 
 __all__ = ["run_spmd_processes"]
@@ -48,6 +51,7 @@ def _worker_main(
     timeout: Optional[float],
     faults: Optional[Any],
     suspicion_timeout: Optional[float] = None,
+    shm_threshold: Optional[int] = None,
 ) -> None:
     injector = None
     if faults is not None:
@@ -55,15 +59,38 @@ def _worker_main(
 
         injector = FaultInjector(faults, rank)
     comm = MailboxComm(rank, size, inboxes, timeout=timeout, injector=injector,
-                       suspicion_timeout=suspicion_timeout)
+                       suspicion_timeout=suspicion_timeout,
+                       shm_threshold=shm_threshold)
     try:
-        value = fn(comm, *args)
+        try:
+            value = fn(comm, *args)
+        finally:
+            if shm_threshold is not None:
+                # Reclaim segments behind messages this rank never received
+                # (peers may have kept sending after our program finished
+                # or died). Unreceived sends *to dead peers* are swept by
+                # the parent's teardown drain.
+                comm.drain_shm_refs()
     except BaseException as exc:  # noqa: BLE001
         comm.announce_failure(f"{type(exc).__name__}: {exc}")
         result_queue.put(("error", rank, f"{type(exc).__name__}: {exc}",
                           traceback.format_exc()))
         return
     result_queue.put(("ok", rank, value, comm.traffic.snapshot()))
+
+
+def _drain_shm_leftovers(inboxes: Sequence[Any]) -> int:
+    """Unlink shm segments referenced by messages nobody will ever receive."""
+    reclaimed = 0
+    for q in inboxes:
+        while True:
+            try:
+                _src, _tag, payload = q.get(timeout=0.01)
+            except Exception:
+                break
+            if isinstance(payload, ShmArrayRef) and unlink_ref(payload):
+                reclaimed += 1
+    return reclaimed
 
 
 def run_spmd_processes(
@@ -75,6 +102,7 @@ def run_spmd_processes(
     faults: Optional[Any] = None,
     return_exceptions: bool = False,
     suspicion_timeout: Optional[float] = None,
+    shm_threshold: Optional[int] = DEFAULT_SHM_THRESHOLD,
 ) -> List[Any]:
     """Execute ``fn(comm, *args)`` on ``size`` process ranks.
 
@@ -82,6 +110,9 @@ def run_spmd_processes(
     picklable. ``timeout`` bounds both each rank's receives and how long
     the parent waits between result arrivals. ``suspicion_timeout``
     enables slow≠dead probing in each rank's communicator.
+    ``shm_threshold`` sets the byte floor above which top-level ndarray
+    payloads travel zero-copy through POSIX shared memory (``None``
+    disables the shm path entirely).
     """
     ctx = mp.get_context(start_method)
     inboxes = [ctx.Queue() for _ in range(size)]
@@ -91,7 +122,7 @@ def run_spmd_processes(
         ctx.Process(
             target=_worker_main,
             args=(rank, size, inboxes, result_queue, fn, args, timeout, faults,
-                  suspicion_timeout),
+                  suspicion_timeout, shm_threshold),
             name=f"spmd-rank-{rank}",
         )
         for rank in range(size)
@@ -158,6 +189,11 @@ def run_spmd_processes(
             if p.is_alive():  # pragma: no cover - stuck rank
                 p.terminate()
                 p.join()
+        if shm_threshold is not None:
+            # Dead or early-exited ranks leave undelivered messages in
+            # their inboxes; unlink any shm segments behind them so the
+            # run leaves /dev/shm exactly as it found it.
+            _drain_shm_leftovers(inboxes)
         for q in inboxes:
             q.close()
             q.cancel_join_thread()

@@ -1,0 +1,153 @@
+"""Zero-copy shared-memory transport for large array payloads.
+
+The process executor's mailboxes are :class:`multiprocessing.Queue`, so by
+default every numpy payload is pickled, pushed through a pipe, and
+reassembled on the far side — three copies of data that both ranks could
+simply map. This module moves large arrays through POSIX shared memory
+instead: the sender copies the array into a fresh
+:class:`~multiprocessing.shared_memory.SharedMemory` segment ONCE and
+enqueues only a tiny :class:`ShmArrayRef` descriptor; the receiver maps the
+segment and wraps it in an ndarray *without copying*.
+
+Lifecycle discipline (the part that is easy to get wrong):
+
+* the sender closes its mapping immediately after the copy and *unregisters*
+  the segment from its ``resource_tracker`` — ownership transfers with the
+  message, and the tracker must not unlink a segment a peer still needs
+  when the sending process exits;
+* the receiver unlinks the segment *immediately on attach*. On Linux the
+  backing memory stays alive while mapped, so the array remains valid, but
+  the name vanishes from ``/dev/shm`` at once — a crash after this point
+  can no longer leak the segment. The mapping itself is closed by a
+  :mod:`weakref` finalizer when the receiving array is garbage collected;
+* refs that are never received (receiver died, injected message drop,
+  leftover queue contents at teardown) are reclaimed by best-effort
+  :func:`unlink_ref` sweeps in the mailbox drain loop and the process
+  executor's teardown path.
+
+Only *top-level* ndarray payloads take this path. Arrays nested inside
+tuples or dicts travel through pickle as before — the repo's hot payloads
+(consolidation histograms, scattered feature blocks) are top-level arrays,
+and confining the rewrite to them keeps the envelope scan O(1) per message.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SHM_THRESHOLD",
+    "ShmArrayRef",
+    "open_array",
+    "share_array",
+    "shareable",
+    "unlink_ref",
+]
+
+#: Minimum payload size (bytes) worth a shared-memory round trip. Below
+#: this, segment create/attach syscalls cost more than the pickle copy.
+DEFAULT_SHM_THRESHOLD = 1 << 16
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Wire descriptor for an array parked in a shared-memory segment.
+
+    Pickles to a few dozen bytes regardless of array size. ``dtype`` is the
+    ``np.dtype.str`` spelling (endianness-explicit) so the receiver rebuilds
+    an identical view.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def shareable(obj: Any, threshold: int) -> bool:
+    """Whether ``obj`` is a top-level array worth moving through shm."""
+    return (
+        isinstance(obj, np.ndarray)
+        and obj.dtype != object
+        and not obj.dtype.hasobject
+        and obj.nbytes >= threshold
+    )
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    Ownership moves to the receiver with the message; without this, the
+    sender's tracker unlinks the segment when the sender exits — yanking
+    memory out from under a peer — and prints leak warnings for segments
+    that were handed off perfectly cleanly. Python 3.13 grew a ``track=``
+    keyword for this; on 3.11 the documented-adjacent unregister call is
+    the only knob.
+    """
+    try:  # pragma: no cover - depends on platform tracker details
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def share_array(arr: np.ndarray) -> ShmArrayRef:
+    """Copy ``arr`` into a fresh segment and return its wire descriptor.
+
+    The segment is closed (sender mapping released) and untracked before
+    returning; on any failure mid-copy it is unlinked so nothing leaks.
+    """
+    nbytes = max(int(arr.nbytes), 1)  # zero-size segments are not allowed
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        ref = ShmArrayRef(shm.name, tuple(arr.shape), arr.dtype.str)
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        raise
+    _untrack(shm)
+    shm.close()
+    return ref
+
+
+def open_array(ref: ShmArrayRef) -> np.ndarray:
+    """Map a descriptor back into a zero-copy ndarray.
+
+    The segment is unlinked immediately (crash-safe: the name cannot leak
+    past this call) and its mapping is closed by a finalizer when the
+    returned array — and every view of it — dies.
+    """
+    shm = shared_memory.SharedMemory(name=ref.name)
+    try:
+        # unlink() also unregisters from the resource tracker (which the
+        # attach above registered with) — don't unregister twice.
+        shm.unlink()
+    except Exception:  # pragma: no cover - peer already swept it
+        _untrack(shm)
+    arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+    weakref.finalize(arr, shm.close)
+    return arr
+
+
+def unlink_ref(ref: ShmArrayRef) -> bool:
+    """Best-effort reclamation of a segment whose message was never received."""
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name)
+    except Exception:
+        return False  # already unlinked (normal: the receiver got it)
+    try:
+        shm.unlink()  # also unregisters the attach's tracker entry
+    except Exception:  # pragma: no cover - lost a race with another sweep
+        _untrack(shm)
+    shm.close()
+    return True

@@ -43,58 +43,184 @@ __all__ = ["KeyCounter", "StreamingKeyBin2"]
 class KeyCounter:
     """Capped sparse counter of occupied deep-key cells.
 
-    Keys are rows of small integers (deep bin indices per kept dimension),
-    hashed by their bytes. When the number of distinct keys exceeds
-    ``capacity``, the smallest-count half of the entries is evicted —
-    dropping only cells that would have formed negligible clusters. The
-    eviction count is tracked so callers can report the approximation.
+    Keys are rows of small integers (deep bin indices per kept dimension).
+    Storage is fully vectorized: keys of width ≤ 8 bytes are byte-encoded
+    into a **sorted** uint64 code array (dimension 0 in the most
+    significant byte, so numeric order equals lexicographic byte order —
+    the same canonical encoding the fused kernel path emits); wider keys
+    fall back to a sorted structured-bytes array. Folding a batch is one
+    ``np.unique`` merge instead of a per-key dict walk, which is what
+    removed the Python-loop bottleneck from ``partial_fit``.
+
+    When the number of distinct keys exceeds ``capacity``, the
+    smallest-count half of the entries is evicted — dropping only cells
+    that would have formed negligible clusters. The eviction count is
+    tracked so callers can report the approximation.
     """
 
     def __init__(self, capacity: int = 100_000):
         if capacity < 1:
             raise ValidationError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._counts: Dict[bytes, int] = {}
+        self._codes: Optional[np.ndarray] = None  # sorted codes (see above)
+        self._counts: np.ndarray = np.empty(0, dtype=np.int64)
         self.evicted_keys = 0
         self.evicted_points = 0
         self._width: Optional[int] = None
 
     def __len__(self) -> int:
-        return len(self._counts)
+        return 0 if self._codes is None else int(self._codes.shape[0])
+
+    # -- encoding ----------------------------------------------------------
+
+    @staticmethod
+    def _encode_rows(rows: np.ndarray) -> np.ndarray:
+        """Canonical code array for (M × w) uint8 rows.
+
+        w ≤ 8: zero-padded big-endian uint64 (value = Σ rows[:, j]·256^(7−j));
+        w > 8: a structured-bytes view that compares lexicographically.
+        """
+        w = rows.shape[1]
+        if w <= 8:
+            buf = np.zeros((rows.shape[0], 8), dtype=np.uint8)
+            buf[:, :w] = rows
+            return buf.view(">u8").ravel().astype(np.uint64, copy=False)
+        return rows.view([("", np.uint8)] * w).ravel().copy()
+
+    def _decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        w = self._width
+        assert w is not None
+        if w <= 8:
+            return codes.astype(">u8").view(np.uint8).reshape(-1, 8)[:, :w].copy()
+        return codes.view(np.uint8).reshape(-1, w).copy()
+
+    def _check_width(self, width: int) -> None:
+        if self._width is None:
+            self._width = int(width)
+        elif width != self._width:
+            raise ValidationError(
+                f"key width changed from {self._width} to {width}"
+            )
+
+    # -- folding -----------------------------------------------------------
+
+    def _fold(
+        self, codes: np.ndarray, counts: np.ndarray, sorted_unique: bool = False
+    ) -> None:
+        """Merge (codes, counts) — codes need not be unique or sorted —
+        then enforce the capacity cap.
+
+        ``sorted_unique=True`` asserts the codes are already strictly
+        increasing (``np.unique`` output); uint64 codes are otherwise
+        checked, because the sorted case takes an O(K + u) merge instead
+        of re-sorting the whole table — the difference between a ~1 ms
+        and a ~7 ms fold at steady state, per projection per batch.
+        """
+        if codes.dtype == np.uint64:
+            if not sorted_unique:
+                sorted_unique = codes.shape[0] < 2 or bool(
+                    np.all(codes[1:] > codes[:-1])
+                )
+            if not sorted_unique:
+                uniq, inverse = np.unique(codes, return_inverse=True)
+                agg = np.zeros(uniq.shape[0], dtype=np.int64)
+                np.add.at(agg, inverse, counts)
+                codes, counts = uniq, agg
+            self._merge_sorted(codes, counts)
+        else:
+            # Wide structured-bytes keys: numpy defines only equality for
+            # structured dtypes, so no searchsorted merge — re-unique the
+            # concatenation (rare path: > 8 projected dimensions).
+            if self._codes is not None and self._codes.shape[0]:
+                codes = np.concatenate([self._codes, codes])
+                counts = np.concatenate([self._counts, counts])
+            uniq, inverse = np.unique(codes, return_inverse=True)
+            merged = np.zeros(uniq.shape[0], dtype=np.int64)
+            np.add.at(merged, inverse, counts)
+            self._codes = uniq
+            self._counts = merged
+        if self._codes.shape[0] > self.capacity:
+            self._evict()
+
+    def _merge_sorted(self, ucodes: np.ndarray, ucounts: np.ndarray) -> None:
+        """Merge strictly-increasing unique uint64 codes into the sorted
+        table without re-sorting it: binary-search each new code, add the
+        counts of codes already present in place, splice the rest in."""
+        if self._codes is None or self._codes.shape[0] == 0:
+            # Copy: the table is mutated in place by later folds and must
+            # not alias a caller's array (merge_encoded hands in fused-
+            # kernel output the caller may still hold).
+            self._codes = ucodes.copy()
+            self._counts = ucounts.astype(np.int64, copy=True)
+            return
+        idx = np.searchsorted(self._codes, ucodes)
+        in_bounds = idx < self._codes.shape[0]
+        present = np.zeros(ucodes.shape[0], dtype=bool)
+        present[in_bounds] = self._codes[idx[in_bounds]] == ucodes[in_bounds]
+        if present.all():
+            # Steady state: every key already tracked. idx entries are
+            # distinct (ucodes strictly increase), so fancy += is exact.
+            self._counts[idx] += ucounts
+            return
+        self._counts[idx[present]] += ucounts[present]
+        miss = ~present
+        self._codes = np.insert(self._codes, idx[miss], ucodes[miss])
+        self._counts = np.insert(self._counts, idx[miss], ucounts[miss])
+
+    def _evict(self) -> None:
+        # A stable argsort on counts over the code-sorted table orders by
+        # (count, key bytes) — eviction stays a pure function of the table
+        # contents, so distributed replicas holding the same cells evict
+        # the same cells regardless of insertion order.
+        assert self._codes is not None
+        order = np.argsort(self._counts, kind="stable")
+        n_drop = self._codes.shape[0] - self.capacity // 2
+        drop = order[:n_drop]
+        self.evicted_keys += int(n_drop)
+        self.evicted_points += int(self._counts[drop].sum())
+        keep = np.ones(self._codes.shape[0], dtype=bool)
+        keep[drop] = False
+        self._codes = self._codes[keep]
+        self._counts = self._counts[keep]
 
     def update(self, rows: np.ndarray) -> None:
         """Count unique rows of an (M × D) uint8 array."""
         rows = np.ascontiguousarray(rows, dtype=np.uint8)
         if rows.ndim != 2:
             raise ValidationError("KeyCounter.update needs a 2-D array")
-        if self._width is None:
-            self._width = rows.shape[1]
-        elif rows.shape[1] != self._width:
-            raise ValidationError(
-                f"key width changed from {self._width} to {rows.shape[1]}"
-            )
+        self._check_width(rows.shape[1])
         if rows.shape[0] == 0:
             return
-        void_view = rows.view([("", np.uint8)] * rows.shape[1]).ravel()
-        uniq, counts = np.unique(void_view, return_counts=True)
-        raw = uniq.tobytes()
-        width = rows.shape[1]
-        for i, c in enumerate(counts):
-            key = raw[i * width : (i + 1) * width]
-            self._counts[key] = self._counts.get(key, 0) + int(c)
-        if len(self._counts) > self.capacity:
-            self._evict()
+        codes = self._encode_rows(rows)
+        uniq, counts = np.unique(codes, return_counts=True)
+        self._fold(uniq, counts.astype(np.int64, copy=False), sorted_unique=True)
 
-    def _evict(self) -> None:
-        # Tie-break on key bytes so eviction is a pure function of the table
-        # contents: distributed replicas that hold the same cells in different
-        # insertion orders must evict the same cells.
-        items = sorted(self._counts.items(), key=lambda kv: (kv[1], kv[0]))
-        n_drop = len(items) - self.capacity // 2
-        for key, cnt in items[:n_drop]:
-            del self._counts[key]
-            self.evicted_keys += 1
-            self.evicted_points += cnt
+    def merge_encoded(
+        self, codes: np.ndarray, counts: np.ndarray, *, width: int
+    ) -> "KeyCounter":
+        """Fold byte-encoded uint64 codes with their counts, in place.
+
+        The zero-copy handoff from the fused kernel path
+        (:attr:`repro.kernels.fused.FusedResult.key_codes`): codes are
+        already in this counter's canonical encoding, so no row
+        materialization or re-encoding happens. Only valid for key widths
+        ≤ 8 (wider keys go through :meth:`merge_arrays`).
+        """
+        if width < 1 or width > 8:
+            raise ValidationError(
+                f"merge_encoded requires key width in [1, 8], got {width}"
+            )
+        self._check_width(int(width))
+        codes = np.asarray(codes, dtype=np.uint64).ravel()
+        counts = np.asarray(counts, dtype=np.int64).ravel()
+        if codes.shape[0] != counts.shape[0]:
+            raise ValidationError(
+                "merge_encoded needs matching (K,) codes and counts"
+            )
+        if codes.shape[0] == 0:
+            return self
+        self._fold(codes, counts)
+        return self
 
     def merge_arrays(
         self,
@@ -126,35 +252,22 @@ class KeyCounter:
         self.evicted_points += int(evicted_points)
         if keys.shape[0] == 0:
             return self
-        if self._width is None:
-            self._width = keys.shape[1]
-        elif keys.shape[1] != self._width:
-            raise ValidationError(
-                f"key width changed from {self._width} to {keys.shape[1]}"
-            )
-        raw = keys.tobytes()
-        width = keys.shape[1]
-        for i in range(keys.shape[0]):
-            kb = raw[i * width : (i + 1) * width]
-            self._counts[kb] = self._counts.get(kb, 0) + int(counts[i])
-        if len(self._counts) > self.capacity:
-            self._evict()
+        self._check_width(keys.shape[1])
+        self._fold(self._encode_rows(keys), counts)
         return self
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(keys (K × D) uint8, counts (K,)) of surviving cells."""
-        if not self._counts or self._width is None:
+        """(keys (K × D) uint8, counts (K,)) of surviving cells, in
+        byte-lexicographic key order."""
+        if self._codes is None or self._codes.shape[0] == 0 or self._width is None:
             return np.empty((0, 0), dtype=np.uint8), np.empty(0, dtype=np.int64)
-        keys = np.frombuffer(
-            b"".join(self._counts.keys()), dtype=np.uint8
-        ).reshape(len(self._counts), self._width)
-        counts = np.fromiter(self._counts.values(), dtype=np.int64, count=len(self._counts))
-        return keys.copy(), counts
+        return self._decode_codes(self._codes), self._counts.copy()
 
     def copy(self) -> "KeyCounter":
-        """Independent deep copy (cheap: one dict copy, no array work)."""
+        """Independent deep copy (two array copies, no re-encoding)."""
         out = KeyCounter(self.capacity)
-        out._counts = dict(self._counts)
+        out._codes = None if self._codes is None else self._codes.copy()
+        out._counts = self._counts.copy()
         out.evicted_keys = self.evicted_keys
         out.evicted_points = self.evicted_points
         out._width = self._width
@@ -178,12 +291,10 @@ class KeyCounter:
         out._width = None if d["width"] is None else int(d["width"])
         keys = np.ascontiguousarray(d["keys"], dtype=np.uint8)
         counts = np.asarray(d["counts"], dtype=np.int64)
-        raw = keys.tobytes()
-        width = keys.shape[1] if keys.size else 0
-        out._counts = {
-            raw[i * width : (i + 1) * width]: int(counts[i])
-            for i in range(keys.shape[0])
-        }
+        if keys.shape[0]:
+            # _fold sorts and uniques, so checkpoints written by the older
+            # insertion-ordered implementation restore correctly too.
+            out._fold(out._encode_rows(keys), counts)
         out.evicted_keys = int(d["evicted_keys"])
         out.evicted_points = int(d["evicted_points"])
         return out
@@ -319,6 +430,18 @@ class StreamingKeyBin2:
     key_capacity:
         Cap on tracked occupied cells per projection (see
         :class:`KeyCounter`).
+    fused:
+        When True (default), ``partial_fit`` accumulates through the fused
+        kernel path (:mod:`repro.kernels.fused`): one batched GEMM per
+        chunk for all projections, bin + histogram + key packing in a
+        single pass, no full-size intermediates. ``False`` runs the
+        original reference kernels — bit-identical results (the
+        equivalence suite enforces this), just slower; kept as the
+        semantic baseline.
+    backend:
+        Kernel backend for the fused path: a name (``"numpy"``,
+        ``"numba"``), a :class:`~repro.kernels.backend.KernelBackend`
+        instance, or None to consult ``REPRO_KERNEL_BACKEND`` / auto-detect.
 
     Usage::
 
@@ -343,6 +466,8 @@ class StreamingKeyBin2:
         min_support_bins: int = 3,
         min_cut_prominence: float = 0.10,
         key_capacity: int = 100_000,
+        fused: bool = True,
+        backend=None,
         seed: SeedLike = None,
         engine: Optional[KernelEngine] = None,
     ):
@@ -367,8 +492,13 @@ class StreamingKeyBin2:
         self.min_support_bins = int(min_support_bins)
         self.min_cut_prominence = float(min_cut_prominence)
         self.key_capacity = int(key_capacity)
+        self.fused = bool(fused)
+        self.backend = backend
         self.seed = seed
         self.engine = engine
+        # Lazily-resolved backend instance (backends carry per-consumer
+        # scratch buffers, so each model owns one).
+        self._backend_instance = None
 
         self._states: Optional[List[_ProjectionState]] = None
         self.model_: Optional[KeyBin2Model] = None
@@ -417,7 +547,15 @@ class StreamingKeyBin2:
     def partial_fit(self, x: np.ndarray) -> "StreamingKeyBin2":
         """Accumulate one batch (a single point works too — M = 1 streams)."""
         x = check_array_2d(x, "X")
-        check_finite(x, "X")
+        if not self.fused or self._states is None:
+            # The fused backends reject non-finite values per chunk (any
+            # NaN/Inf input propagates to a non-finite projected
+            # coordinate — IEEE inf·0 is NaN, so even a zero projection
+            # weight cannot mask one), which makes a dedicated O(M·N)
+            # validation pass here pure overhead on the fused path. The
+            # first batch still takes it: range initialization reduces
+            # over x before any kernel runs.
+            check_finite(x, "X")
         if self._states is None:
             self._initialize(x)
         assert self._states is not None
@@ -426,33 +564,11 @@ class StreamingKeyBin2:
                 f"batch has {x.shape[1]} features, stream started with "
                 f"{self.n_features_in_}"
             )
-        deepest = self.candidate_depths[-1]
         with trace.span("partial_fit"):
-            for state in self._states:
-                with trace.span("project"):
-                    projected = (
-                        x if state.matrix is None
-                        else project_points(x, state.matrix, engine=self.engine)
-                    )
-                with trace.span("bin"):
-                    deep = bin_indices(
-                        projected, state.space.r_min, state.space.r_max, deepest,
-                        engine=self.engine,
-                    )
-                with trace.span("histogram"):
-                    for d in state.depths:
-                        b = deep if d == deepest else prefix_bins(deep, deepest, d)
-                        accumulate_histogram(
-                            b, 1 << d, out=state.hist[d], engine=self.engine
-                        )
-                        accumulate_histogram(
-                            b, 1 << d, out=state.hist_delta[d], engine=self.engine
-                        )
-                with trace.span("keys"):
-                    deep_u8 = deep.astype(np.uint8)
-                    state.keys.update(deep_u8)
-                    state.keys_delta.update(deep_u8)
-                state.n_points += x.shape[0]
+            if self.fused:
+                self._accumulate_fused(x)
+            else:
+                self._accumulate_reference(x)
         self.n_seen_ += x.shape[0]
         self.n_seen_delta_ += x.shape[0]
         self.n_own_ += x.shape[0]
@@ -463,6 +579,86 @@ class StreamingKeyBin2:
                 "Points accumulated by StreamingKeyBin2.partial_fit.",
             ).inc(x.shape[0])
         return self
+
+    def _resolve_backend(self):
+        if self._backend_instance is None:
+            from repro.kernels.backend import get_backend
+
+            self._backend_instance = get_backend(self.backend)
+        return self._backend_instance
+
+    def _accumulate_fused(self, x: np.ndarray) -> None:
+        """Fused accumulation: one batched GEMM per chunk for all states,
+        bin + histogram + key packing in a single backend pass.
+
+        Bit-identical to :meth:`_accumulate_reference`: the batch
+        histogram is computed once and added to both the running view and
+        the consolidation delta, and keys fold through the same canonical
+        byte encoding with the same once-per-batch eviction cadence.
+        """
+        from repro.kernels.fused import FusedStateSpec, fused_partial_fit
+
+        assert self._states is not None
+        specs = [
+            FusedStateSpec(st.matrix, st.space.r_min, st.space.r_max, st.depths)
+            for st in self._states
+        ]
+        from repro.kernels.fused import DEFAULT_FUSED_CHUNK
+
+        chunk = (
+            DEFAULT_FUSED_CHUNK if self.engine is None else self.engine.block_size
+        )
+        results = fused_partial_fit(
+            x, specs, backend=self._resolve_backend(), chunk_size=chunk
+        )
+        for state, res in zip(self._states, results):
+            for d in state.depths:
+                state.hist[d] += res.hist[d]
+                state.hist_delta[d] += res.hist[d]
+            if res.key_codes is not None:
+                width = state.space.n_dims
+                state.keys.merge_encoded(res.key_codes, res.key_counts, width=width)
+                state.keys_delta.merge_encoded(
+                    res.key_codes, res.key_counts, width=width
+                )
+            else:
+                state.keys.merge_arrays(res.key_rows, res.key_counts)
+                state.keys_delta.merge_arrays(res.key_rows, res.key_counts)
+            state.n_points += x.shape[0]
+
+    def _accumulate_reference(self, x: np.ndarray) -> None:
+        """Reference accumulation through the unfused kernels.
+
+        The semantic baseline the equivalence suite pins the fused path
+        against; also what runs with ``fused=False``.
+        """
+        assert self._states is not None
+        deepest = self.candidate_depths[-1]
+        for state in self._states:
+            with trace.span("project"):
+                projected = (
+                    x if state.matrix is None
+                    else project_points(x, state.matrix, engine=self.engine)
+                )
+            with trace.span("bin"):
+                deep = bin_indices(
+                    projected, state.space.r_min, state.space.r_max, deepest,
+                    engine=self.engine,
+                )
+            with trace.span("histogram"):
+                for d in state.depths:
+                    b = deep if d == deepest else prefix_bins(deep, deepest, d)
+                    accumulate_histogram(
+                        b, 1 << d, out=state.hist[d], engine=self.engine
+                    )
+                    accumulate_histogram(
+                        b, 1 << d, out=state.hist_delta[d], engine=self.engine
+                    )
+            with trace.span("keys"):
+                deep_u8 = deep.astype(np.uint8)
+                state.keys.update(deep_u8)
+                state.keys_delta.update(deep_u8)
+            state.n_points += x.shape[0]
 
     # -- consolidation ---------------------------------------------------------
 
@@ -565,7 +761,7 @@ class StreamingKeyBin2:
         "n_projections", "n_components", "candidate_depths", "projection",
         "projection_factor", "range_expand", "feature_range", "collapse",
         "uniform_threshold", "min_support_bins", "min_cut_prominence",
-        "key_capacity",
+        "key_capacity", "fused", "backend",
     )
 
     def state_dict(self) -> Dict[str, Any]:
@@ -579,6 +775,10 @@ class StreamingKeyBin2:
         deterministically from the histograms.
         """
         config = {name: getattr(self, name) for name in self._CONFIG_FIELDS}
+        # Backend instances are process-local (scratch buffers); persist the
+        # name so the restored instance re-resolves an equivalent backend.
+        if not isinstance(config["backend"], (str, type(None))):
+            config["backend"] = getattr(config["backend"], "name", None)
         # The seed is provenance only (matrices/ranges are stored), but a
         # plain seed is kept so a restored instance reports its origin.
         config["seed"] = self.seed if isinstance(self.seed, (int, type(None))) else None

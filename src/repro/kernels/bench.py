@@ -1,0 +1,187 @@
+"""Fused-vs-reference kernel benchmark (``kernels-bench`` CLI).
+
+Answers the question the fused engine exists for: how much faster does
+``StreamingKeyBin2.partial_fit`` ingest a batch through the fused
+backend path than through the reference kernels? Both paths run the same
+model configuration on the same data and — enforced here before any
+timing — produce **bit-identical** histograms and key tables, so the
+ratio is a pure execution-efficiency measurement, not an
+accuracy/performance trade.
+
+Protocol: for each path, one untimed warm-up ``partial_fit`` (state
+initialization, range measurement, scratch allocation, and — for the
+numba backend — JIT compilation), then ``repeats`` timed calls of the
+same batch; best-of wins (the standard microbenchmark estimator for the
+noise floor of a shared machine). Speedup = reference best / fused best.
+
+Results land in ``BENCH_kernels.json``; ``--check`` turns the speedup
+floor into a process exit code for CI. The local development floor is
+:data:`DEFAULT_SPEEDUP_FLOOR` (5×, the repo's acceptance target on a
+quiet many-core host); CI passes an explicit lower ``--floor`` because
+shared 2-core runners throttle BLAS and memory bandwidth unpredictably.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.streaming import StreamingKeyBin2
+from repro.kernels.backend import available_backends, get_backend
+
+__all__ = ["run_kernels_bench", "DEFAULT_OUT_PATH", "DEFAULT_SPEEDUP_FLOOR"]
+
+DEFAULT_OUT_PATH = "BENCH_kernels.json"
+
+#: Acceptance floor for ``--check`` when no explicit floor is given:
+#: fused partial_fit must ingest at least this many times faster than the
+#: reference path on the best available backend.
+DEFAULT_SPEEDUP_FLOOR = 5.0
+
+
+def _make_model(backend: Optional[str], fused: bool, seed: int,
+                depths: Sequence[int], n_projections: int) -> StreamingKeyBin2:
+    return StreamingKeyBin2(
+        n_projections=n_projections,
+        candidate_depths=tuple(depths),
+        fused=fused,
+        backend=backend,
+        seed=seed,
+    )
+
+
+def _states_equal(a: StreamingKeyBin2, b: StreamingKeyBin2) -> bool:
+    """Bit-exact comparison of accumulated state (hists + key tables)."""
+    if a.n_seen_ != b.n_seen_:
+        return False
+    for sa, sb in zip(a._states, b._states):
+        for d in sa.depths:
+            if not np.array_equal(sa.hist[d], sb.hist[d]):
+                return False
+        ka, ca = sa.keys.to_arrays()
+        kb, cb = sb.keys.to_arrays()
+        if not (np.array_equal(ka, kb) and np.array_equal(ca, cb)):
+            return False
+    return True
+
+
+def _time_partial_fit(model: StreamingKeyBin2, x: np.ndarray,
+                      repeats: int) -> float:
+    model.partial_fit(x)  # untimed: init + warm caches (+ JIT for numba)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        model.partial_fit(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernels_bench(
+    backends: Optional[Sequence[str]] = None,
+    n_points: int = 50_000,
+    n_features: int = 128,
+    n_projections: int = 8,
+    depths: Sequence[int] = (4, 5, 6, 7),
+    n_clusters: int = 64,
+    cluster_std: float = 0.05,
+    repeats: int = 5,
+    seed: int = 0,
+    floor: float = DEFAULT_SPEEDUP_FLOOR,
+    out_path: Optional[str] = DEFAULT_OUT_PATH,
+    quiet: bool = False,
+) -> Dict[str, Any]:
+    """Measure fused-vs-reference ``partial_fit`` throughput per backend.
+
+    ``backends`` defaults to every backend available on this host.
+    ``results["passed"]`` is True when the best backend's speedup meets
+    ``floor`` AND fused state matched the reference bit-for-bit.
+    """
+
+    def say(msg: str) -> None:
+        if not quiet:
+            print(msg, flush=True)
+
+    if backends is None:
+        backends = [n for n, ok in available_backends().items() if ok]
+    else:
+        for name in backends:
+            get_backend(name)  # fail fast on unknown/unavailable names
+
+    # A gaussian mixture, not white noise: KeyBin2 is a clustering
+    # algorithm, and on clusterable data the occupied deep-key cells are
+    # few (≈ clusters, not points). White noise makes every point a
+    # unique key — a worst case neither path is designed around — so the
+    # benchmark batch mirrors the workload the kernels actually serve.
+    rng = np.random.default_rng(seed)
+    centers = 4.0 * rng.standard_normal((n_clusters, n_features))
+    assign = rng.integers(0, n_clusters, size=n_points)
+    x = centers[assign] + cluster_std * rng.standard_normal(
+        (n_points, n_features)
+    )
+
+    # Reference baseline (also the equivalence oracle).
+    ref = _make_model(None, False, seed, depths, n_projections)
+    ref_best = _time_partial_fit(ref, x, repeats)
+    rows_ref = n_points / ref_best
+    say(f"kernels-bench: reference partial_fit best {ref_best * 1e3:.1f} ms "
+        f"({rows_ref:,.0f} rows/s)")
+
+    per_backend: Dict[str, Dict[str, Any]] = {}
+    equivalent = True
+    for name in backends:
+        fused = _make_model(name, True, seed, depths, n_projections)
+        fused_best = _time_partial_fit(fused, x, repeats)
+        same = _states_equal(ref, fused)
+        equivalent = equivalent and same
+        speedup = ref_best / fused_best
+        per_backend[name] = {
+            "fused_best_s": round(fused_best, 6),
+            "rows_per_s": round(n_points / fused_best, 1),
+            "speedup": round(speedup, 2),
+            "bit_identical": same,
+        }
+        say(f"kernels-bench: backend {name!r} best "
+            f"{fused_best * 1e3:.1f} ms -> {speedup:.2f}x"
+            + ("" if same else "  [STATE MISMATCH]"))
+
+    best_speedup = max((b["speedup"] for b in per_backend.values()), default=0.0)
+    results: Dict[str, Any] = {
+        "benchmark": "kernels_fused_partial_fit",
+        "config": {
+            "n_points": n_points,
+            "n_features": n_features,
+            "n_projections": n_projections,
+            "depths": list(depths),
+            "n_clusters": n_clusters,
+            "cluster_std": cluster_std,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "reference": {
+            "best_s": round(ref_best, 6),
+            "rows_per_s": round(rows_ref, 1),
+        },
+        "backends": per_backend,
+        "best_speedup": best_speedup,
+        "floor": floor,
+        "equivalent": equivalent,
+        "passed": bool(equivalent and best_speedup >= floor),
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+        say(f"kernels-bench: wrote {out_path}")
+    say("kernels-bench: "
+        + ("PASS" if results["passed"] else "FAIL")
+        + f" (best speedup {best_speedup:.2f}x vs floor {floor}x, "
+        + f"equivalent={equivalent})")
+    return results

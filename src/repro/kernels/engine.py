@@ -68,9 +68,14 @@ class KernelEngine:
         """
         n = x.shape[0]
         blocks = self.blocks(n)
-        self._count_launches(kernel, len(blocks))
+        counter = self._launch_counter(kernel) if blocks else None
         for start, stop in blocks:
+            # Metric and legacy attribute move together, per *executed*
+            # block: a kernel exception mid-chunk must not leave the metric
+            # overstating launches that never happened.
             self.launches += 1
+            if counter is not None:
+                counter.inc()
             result = kernel(x[start:stop], *kernel_args)
             if out is None:
                 shape = out_shape if out_shape is not None else (n,) + result.shape[1:]
@@ -99,22 +104,23 @@ class KernelEngine:
         """
         acc = initial
         blocks = self.blocks(x.shape[0])
-        self._count_launches(kernel, len(blocks))
+        counter = self._launch_counter(kernel) if blocks else None
         for start, stop in blocks:
             self.launches += 1
+            if counter is not None:
+                counter.inc()
             partial = kernel(x[start:stop], *kernel_args)
             acc = partial if acc is None else combine(acc, partial)
         return acc
 
     @staticmethod
-    def _count_launches(kernel: Callable[..., Any], n_blocks: int) -> None:
-        if n_blocks == 0:
-            return
+    def _launch_counter(kernel: Callable[..., Any]):
+        """Resolve the labeled launch counter once per call (None = disabled)."""
         reg = default_registry()
         if not reg.enabled:
-            return
-        reg.counter(
+            return None
+        return reg.counter(
             "kernel_launches_total",
             "Block launches executed by the kernel engine, per kernel.",
             ("kernel",),
-        ).labels(kernel=getattr(kernel, "__name__", "kernel")).inc(n_blocks)
+        ).labels(kernel=getattr(kernel, "__name__", "kernel"))

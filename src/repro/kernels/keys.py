@@ -24,6 +24,7 @@ from repro.errors import ValidationError
 from repro.kernels.engine import KernelEngine
 
 __all__ = [
+    "bin_scale",
     "bin_indices",
     "bin_indices_at_depths",
     "prefix_bins",
@@ -32,6 +33,55 @@ __all__ = [
 ]
 
 _MAX_PACK_BITS = 63
+
+
+def bin_scale(
+    r_min: np.ndarray, r_max: np.ndarray, depth: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute the ``(r_min, scale)`` pair the binning arithmetic uses.
+
+    Shared by the reference kernel (:func:`bin_indices`) and the fused
+    backends (:mod:`repro.kernels.fused`): both compute
+    ``floor((x - r_min) * scale)`` then clip, so deriving the scale in one
+    place is what keeps the two paths bit-identical.
+
+    Returns 1-D float64 ``(r_min, scale)`` vectors. A dimension whose span
+    underflows the divide is effectively constant and gets scale 0 (all
+    values map into bin 0) instead of propagating inf/nan.
+    """
+    if depth < 1 or depth > 62:
+        raise ValidationError(f"depth must be in [1, 62], got {depth}")
+    r_min = np.asarray(r_min, dtype=np.float64).ravel()
+    r_max = np.asarray(r_max, dtype=np.float64).ravel()
+    if r_min.shape != r_max.shape:
+        raise ValidationError("r_min and r_max must have the same length")
+    span = r_max - r_min
+    if np.any(span <= 0):
+        raise ValidationError("r_max must be strictly greater than r_min per dimension")
+    n_bins = 1 << depth
+    with np.errstate(over="ignore"):
+        scale = n_bins / span
+    scale[~np.isfinite(scale)] = 0.0
+    return r_min, scale
+
+
+def _reject_non_finite(x: np.ndarray, where: str) -> None:
+    """Raise a row-addressed ValidationError when ``x`` has NaN/Inf entries.
+
+    A NaN survives ``np.clip`` and its cast to an integer dtype is
+    undefined — historically this silently corrupted histograms and keys,
+    so every binning entry point rejects non-finite rows up front.
+    """
+    finite = np.isfinite(x)
+    if finite.all():
+        return
+    bad = np.flatnonzero(~finite.all(axis=1))
+    head = ", ".join(str(int(r)) for r in bad[:5])
+    more = "" if bad.size <= 5 else f", … ({bad.size} rows total)"
+    raise ValidationError(
+        f"{where}: input contains non-finite coordinates (NaN/Inf) in "
+        f"row(s) {head}{more}; filter or clean these rows before binning"
+    )
 
 
 def bin_indices(
@@ -58,25 +108,26 @@ def bin_indices(
     Returns
     -------
     (M × N) ``int32`` array of bin indices in ``[0, 2^depth)``.
+
+    Raises
+    ------
+    ValidationError
+        If any row of ``x`` contains a non-finite value: NaN survives
+        ``np.clip`` and its cast to int32 is undefined, so garbage indices
+        would silently corrupt histograms and keys downstream.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
         raise ValidationError("bin_indices needs 2-D input")
     if depth < 1 or depth > 31:
         raise ValidationError(f"depth must be in [1, 31], got {depth}")
-    r_min = np.asarray(r_min, dtype=np.float64).reshape(1, -1)
-    r_max = np.asarray(r_max, dtype=np.float64).reshape(1, -1)
-    if r_min.shape[1] != x.shape[1] or r_max.shape[1] != x.shape[1]:
+    _reject_non_finite(x, "bin_indices")
+    r_min_v, scale_v = bin_scale(r_min, r_max, depth)
+    if r_min_v.shape[0] != x.shape[1]:
         raise ValidationError("r_min/r_max length must match number of dimensions")
-    span = r_max - r_min
-    if np.any(span <= 0):
-        raise ValidationError("r_max must be strictly greater than r_min per dimension")
     n_bins = 1 << depth
-    with np.errstate(over="ignore"):
-        scale = n_bins / span
-    # A dimension whose span underflows the divide is effectively constant:
-    # map it wholesale into bin 0 instead of propagating inf/nan.
-    scale[~np.isfinite(scale)] = 0.0
+    r_min = r_min_v.reshape(1, -1)
+    scale = scale_v.reshape(1, -1)
 
     def kernel(block: np.ndarray) -> np.ndarray:
         idx = (block - r_min) * scale
@@ -135,10 +186,17 @@ def pack_keys(bins: np.ndarray, depth: int) -> np.ndarray:
     dimensions (paper's "356406"-style key, in binary). Requires
     ``depth * n_dims <= 63``; callers with a larger budget should pack the
     per-dimension *interval* labels instead (they are far fewer).
+
+    Every bin value must lie in ``[0, 2^depth)``: an out-of-range value
+    would bleed bits into the neighboring dimension's field of the key,
+    producing a wrong-but-plausible cluster key, so the range is validated
+    instead of silently masked.
     """
     bins = np.asarray(bins)
     if bins.ndim != 2:
         raise ValidationError("pack_keys needs a 2-D (points × dims) array")
+    if depth < 1:
+        raise ValidationError(f"depth must be >= 1, got {depth}")
     n_dims = bins.shape[1]
     total_bits = depth * n_dims
     if total_bits > _MAX_PACK_BITS:
@@ -146,6 +204,18 @@ def pack_keys(bins: np.ndarray, depth: int) -> np.ndarray:
             f"cannot pack {n_dims} dims × {depth} bits = {total_bits} bits "
             f"into int64 (max {_MAX_PACK_BITS}); reduce depth or dimensions"
         )
+    if bins.size:
+        if not np.issubdtype(bins.dtype, np.integer):
+            raise ValidationError(
+                f"pack_keys needs integer bin indices, got dtype {bins.dtype}"
+            )
+        lo, hi = int(bins.min()), int(bins.max())
+        if lo < 0 or hi >= (1 << depth):
+            raise ValidationError(
+                f"pack_keys: bin values must lie in [0, {1 << depth}) for "
+                f"depth {depth}, got range [{lo}, {hi}] — out-of-range bins "
+                "would bleed bits into neighboring key fields"
+            )
     keys = np.zeros(bins.shape[0], dtype=np.int64)
     for j in range(n_dims):
         keys <<= depth

@@ -71,6 +71,11 @@ def _mass_program(comm, feature_blocks, chunk, every):
     return records
 
 
+def _key_dict(counter):
+    keys, counts = counter.to_arrays()
+    return {bytes(k): int(c) for k, c in zip(keys, counts)}
+
+
 def _double_merge_program(comm, feature_blocks):
     """Merge twice with no data in between; the second merge must change
     nothing (idempotence — exactly what re-reducing merged totals broke)."""
@@ -80,13 +85,13 @@ def _double_merge_program(comm, feature_blocks):
     before = (
         skb.n_seen_,
         [st.hist[d].copy() for st in skb._states for d in st.depths],
-        [dict(st.keys._counts) for st in skb._states],
+        [_key_dict(st.keys) for st in skb._states],
     )
     consolidate_streaming_state(comm, skb)
     after = (
         skb.n_seen_,
         [st.hist[d].copy() for st in skb._states for d in st.depths],
-        [dict(st.keys._counts) for st in skb._states],
+        [_key_dict(st.keys) for st in skb._states],
     )
     return before, after
 

@@ -1,0 +1,154 @@
+"""Tests for the pluggable kernel-backend registry and selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels.backend import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+
+class TestRegistry:
+    def test_numpy_always_registered_and_available(self):
+        avail = available_backends()
+        assert avail["numpy"] is True
+
+    def test_numba_registered_even_when_absent(self):
+        # The optional backend must be *listed* regardless of whether the
+        # dependency is importable — availability is the separate flag.
+        import repro.kernels.numba_backend  # noqa: F401
+
+        assert "numba" in available_backends()
+
+    def test_register_rejects_abstract_name(self):
+        class Anon(KernelBackend):
+            pass
+
+        with pytest.raises(ValidationError):
+            register_backend(Anon)
+
+
+class TestGetBackend:
+    def test_default_resolves_to_available_backend(self):
+        be = get_backend()
+        assert be.is_available()
+
+    def test_explicit_name(self):
+        assert get_backend("numpy").name == "numpy"
+
+    def test_name_is_case_insensitive(self):
+        assert get_backend("NumPy").name == "numpy"
+
+    def test_instance_passthrough(self):
+        inst = NumpyBackend()
+        assert get_backend(inst) is inst
+
+    def test_fresh_instance_per_call(self):
+        # Backends hold per-consumer scratch state; sharing them across
+        # models would race.
+        assert get_backend("numpy") is not get_backend("numpy")
+
+    def test_auto_resolves(self):
+        assert get_backend("auto").is_available()
+
+    def test_env_var_selection(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend().name == "numpy"
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "warpdrive")
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            get_backend()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            get_backend("warpdrive")
+
+    def test_unavailable_backend_raises_clearly(self):
+        import repro.kernels.numba_backend as nb
+
+        if nb.NumbaBackend.is_available():  # pragma: no cover - numba host
+            pytest.skip("numba installed; unavailability path not reachable")
+        with pytest.raises(ValidationError, match="not available"):
+            get_backend("numba")
+
+
+class TestNumpyFusedChunk:
+    """Direct contract tests for the fused per-chunk primitive."""
+
+    def _setup(self, rng, n=4, m=200, depth=5):
+        projected = np.ascontiguousarray(rng.standard_normal((n, m)) * 3)
+        r_min = projected.min(axis=1) - 0.1
+        r_max = projected.max(axis=1) + 0.1
+        from repro.kernels.keys import bin_scale
+
+        r_min_v, scale = bin_scale(r_min, r_max, depth)
+        return projected, r_min_v, scale, 1 << depth
+
+    def test_codes_match_reference_binning(self, rng):
+        proj, r_min, scale, n_bins = self._setup(rng)
+        expected = np.clip(
+            np.floor((proj - r_min[:, None]) * scale[:, None]), 0, n_bins - 1
+        ).astype(np.uint64)
+        codes = np.empty(proj.shape[1], dtype=np.uint64)
+        be = NumpyBackend()
+        assert be.fused_chunk(proj.copy(), r_min, scale, n_bins, codes=codes) == -1
+        # Canonical packing: dim 0 in the most significant byte.
+        weights = np.array(
+            [1 << (8 * (7 - j)) for j in range(proj.shape[0])], dtype=np.uint64
+        )
+        assert np.array_equal(codes, (expected.T * weights).sum(axis=1))
+
+    def test_hist_accumulates_in_place(self, rng):
+        proj, r_min, scale, n_bins = self._setup(rng)
+        n = proj.shape[0]
+        hist = np.zeros(n * n_bins, dtype=np.int64)
+        be = NumpyBackend()
+        assert be.fused_chunk(proj.copy(), r_min, scale, n_bins, hist_flat=hist) == -1
+        first = hist.copy()
+        assert be.fused_chunk(proj.copy(), r_min, scale, n_bins, hist_flat=hist) == -1
+        assert np.array_equal(hist, 2 * first)
+        assert first.sum() == n * proj.shape[1]
+
+    def test_rows_output_matches_codes(self, rng):
+        proj, r_min, scale, n_bins = self._setup(rng, n=3)
+        be = NumpyBackend()
+        codes = np.empty(proj.shape[1], dtype=np.uint64)
+        rows = np.empty(proj.shape, dtype=np.uint8)
+        assert (
+            be.fused_chunk(proj.copy(), r_min, scale, n_bins, codes=codes, rows=rows)
+            == -1
+        )
+        from repro.kernels.fused import decode_key_codes
+
+        assert np.array_equal(decode_key_codes(codes, 3), rows.T)
+
+    def test_nonfinite_reports_first_bad_sample(self, rng):
+        proj, r_min, scale, n_bins = self._setup(rng)
+        proj[2, 57] = np.nan
+        proj[0, 80] = np.inf
+        be = NumpyBackend()
+        assert be.fused_chunk(proj, r_min, scale, n_bins) == 57
+
+    def test_empty_chunk_is_noop(self):
+        be = NumpyBackend()
+        empty = np.empty((3, 0), dtype=np.float64)
+        params = np.zeros(3)
+        assert be.fused_chunk(empty, params, params + 1.0, 8) == -1
+
+    def test_scratch_reuse_across_widths_stays_correct(self, rng):
+        # A narrower state reusing the backend after a wider one must not
+        # inherit stale padding bytes in its packed codes.
+        be = NumpyBackend()
+        for n in (8, 3, 8, 3):
+            proj, r_min, scale, n_bins = self._setup(rng, n=n, m=64)
+            codes = np.empty(64, dtype=np.uint64)
+            assert be.fused_chunk(proj.copy(), r_min, scale, n_bins, codes=codes) == -1
+            tail_bits = 8 * (8 - n)
+            assert np.all(codes & ((np.uint64(1) << np.uint64(tail_bits)) - np.uint64(1)) == 0)

@@ -95,3 +95,60 @@ class TestReduce:
         eng = KernelEngine(block_size=3)
         assert eng.reduce(lambda b: b.sum(), np.empty((0, 2)),
                           combine=lambda a, b: a + b, initial=0.0) == 0.0
+
+
+class TestLaunchAccounting:
+    """Regression: the launch metric must track *executed* blocks.
+
+    It used to be bumped for the whole grid up front, so a kernel
+    exception mid-chunk overstated launches that never happened.
+    """
+
+    def _exploding_kernel(self, fail_on_call):
+        calls = {"n": 0}
+
+        def kernel(block):
+            calls["n"] += 1
+            if calls["n"] == fail_on_call:
+                raise RuntimeError("boom")
+            return block
+
+        return kernel
+
+    def test_map_counts_only_attempted_blocks(self, rng):
+        x = rng.random((50, 2))
+        eng = KernelEngine(block_size=10)  # 5 blocks
+        with pytest.raises(RuntimeError):
+            eng.map(self._exploding_kernel(fail_on_call=3), x)
+        assert eng.launches == 3
+
+    def test_reduce_counts_only_attempted_blocks(self, rng):
+        x = rng.random((40, 2))
+        eng = KernelEngine(block_size=10)  # 4 blocks
+        with pytest.raises(RuntimeError):
+            eng.reduce(
+                self._exploding_kernel(fail_on_call=2), x,
+                combine=lambda a, b: a + b,
+            )
+        assert eng.launches == 2
+
+    def test_metric_matches_attribute(self, rng):
+        from repro.obs import default_registry
+
+        reg = default_registry()
+        if not reg.enabled:
+            reg.enable()
+
+        def kernel(block):
+            return block
+
+        counter = reg.counter(
+            "kernel_launches_total",
+            "Block launches executed by the kernel engine, per kernel.",
+            ("kernel",),
+        ).labels(kernel="kernel")
+        before = counter.value
+        eng = KernelEngine(block_size=7)
+        eng.map(kernel, rng.random((30, 2)))  # 5 blocks
+        assert eng.launches == 5
+        assert counter.value - before == 5

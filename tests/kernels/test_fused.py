@@ -1,0 +1,211 @@
+"""Tests for the fused projection → bin → histogram → key driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels.fused import (
+    FusedStateSpec,
+    decode_key_codes,
+    fused_partial_fit,
+    project_bin_count,
+)
+from repro.kernels.histogram import accumulate_histogram
+from repro.kernels.keys import bin_indices, prefix_bins
+from repro.kernels.project import project_points
+
+
+def _reference(x, matrix, r_min, r_max, depths):
+    """The unfused kernel chain the fused path must reproduce bit-for-bit."""
+    projected = x if matrix is None else project_points(x, matrix)
+    depths = sorted(set(depths))
+    deepest = depths[-1]
+    deep = bin_indices(projected, r_min, r_max, deepest)
+    hist = {}
+    for d in depths:
+        b = deep if d == deepest else prefix_bins(deep, deepest, d)
+        out = np.zeros((projected.shape[1], 1 << d), dtype=np.int64)
+        accumulate_histogram(b, 1 << d, out=out)
+        hist[d] = out
+    rows = np.unique(deep.astype(np.uint8), axis=0)
+    # np.unique(axis=0) sorts rows lexicographically — same order as the
+    # fused path's byte-encoded codes.
+    counts = np.array(
+        [(deep == r).all(axis=1).sum() for r in rows], dtype=np.int64
+    )
+    return hist, rows, counts
+
+
+def _spec_for(x, matrix, depths, rng_margin=0.25):
+    projected = x if matrix is None else x @ matrix
+    r_min = projected.min(axis=0) - rng_margin
+    r_max = projected.max(axis=0) + rng_margin
+    return r_min, r_max
+
+
+class TestProjectBinCount:
+    @pytest.mark.parametrize("chunk_size", [None, 17, 1000, 10_000])
+    def test_matches_reference_chain(self, rng, chunk_size):
+        x = rng.standard_normal((257, 12))
+        matrix = rng.standard_normal((12, 4))
+        r_min, r_max = _spec_for(x, matrix, (3, 5))
+        res = project_bin_count(
+            x, matrix, r_min, r_max, (3, 5), backend="numpy",
+            chunk_size=chunk_size,
+        )
+        hist, rows, counts = _reference(x, matrix, r_min, r_max, (3, 5))
+        for d in (3, 5):
+            assert np.array_equal(res.hist[d], hist[d])
+        assert np.array_equal(res.key_rows, rows)
+        assert np.array_equal(res.key_counts, counts)
+        assert res.n_rows == 257
+
+    def test_no_projection_matrix(self, rng):
+        x = rng.standard_normal((64, 3))
+        r_min, r_max = _spec_for(x, None, (4,))
+        res = project_bin_count(x, None, r_min, r_max, (4,), backend="numpy")
+        hist, rows, counts = _reference(x, None, r_min, r_max, (4,))
+        assert np.array_equal(res.hist[4], hist[4])
+        assert np.array_equal(res.key_rows, rows)
+        assert np.array_equal(res.key_counts, counts)
+
+    def test_wide_state_falls_back_to_rows(self, rng):
+        x = rng.standard_normal((120, 16))
+        matrix = rng.standard_normal((16, 10))  # > 8 dims: no uint64 code
+        r_min, r_max = _spec_for(x, matrix, (2, 3))
+        res = project_bin_count(x, matrix, r_min, r_max, (2, 3), backend="numpy")
+        assert res.key_codes is None
+        hist, rows, counts = _reference(x, matrix, r_min, r_max, (2, 3))
+        assert np.array_equal(res.key_rows, rows)
+        assert np.array_equal(res.key_counts, counts)
+        for d in (2, 3):
+            assert np.array_equal(res.hist[d], hist[d])
+
+    def test_empty_batch(self, rng):
+        x = np.empty((0, 5))
+        matrix = rng.standard_normal((5, 2))
+        res = project_bin_count(x, matrix, [-1, -1], [1, 1], (3,), backend="numpy")
+        assert res.n_rows == 0
+        assert res.key_rows.shape[0] == 0
+        assert res.key_counts.shape == (0,)
+        assert res.key_codes.shape == (0,)
+        assert res.hist[3].sum() == 0
+
+    def test_codes_decode_to_rows(self, rng):
+        x = rng.standard_normal((90, 6))
+        matrix = rng.standard_normal((6, 5))
+        r_min, r_max = _spec_for(x, matrix, (4,))
+        res = project_bin_count(x, matrix, r_min, r_max, (4,), backend="numpy")
+        assert np.array_equal(decode_key_codes(res.key_codes, 5), res.key_rows)
+
+    def test_nan_input_raises_with_row_index(self, rng):
+        x = rng.standard_normal((40, 4))
+        x[23, 1] = np.nan
+        matrix = rng.standard_normal((4, 2))
+        with pytest.raises(ValidationError, match="row 23"):
+            project_bin_count(x, matrix, [-9, -9], [9, 9], (3,), backend="numpy")
+
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf])
+    def test_inf_input_raises(self, rng, bad):
+        x = rng.standard_normal((40, 4))
+        x[7, 0] = bad
+        with pytest.raises(ValidationError, match="non-finite"):
+            project_bin_count(x, None, [-9] * 4, [9] * 4, (3,), backend="numpy")
+
+
+class TestFusedPartialFit:
+    def test_multi_state_shared_gemm(self, rng):
+        x = rng.standard_normal((150, 10))
+        specs = []
+        expected = []
+        for n_rp, depths in ((3, (2, 4)), (5, (4,)), (2, (1, 3))):
+            matrix = rng.standard_normal((10, n_rp))
+            r_min, r_max = _spec_for(x, matrix, depths)
+            specs.append(FusedStateSpec(matrix, r_min, r_max, depths))
+            expected.append(_reference(x, matrix, r_min, r_max, depths))
+        results = fused_partial_fit(x, specs, backend="numpy", chunk_size=64)
+        for res, (hist, rows, counts) in zip(results, expected):
+            for d in hist:
+                assert np.array_equal(res.hist[d], hist[d])
+            assert np.array_equal(res.key_rows, rows)
+            assert np.array_equal(res.key_counts, counts)
+
+    def test_mixed_projected_and_raw_states(self, rng):
+        x = rng.standard_normal((80, 4))
+        matrix = rng.standard_normal((4, 3))
+        rm1, rx1 = _spec_for(x, matrix, (3,))
+        rm2, rx2 = _spec_for(x, None, (2,))
+        results = fused_partial_fit(
+            x,
+            [
+                FusedStateSpec(matrix, rm1, rx1, (3,)),
+                FusedStateSpec(None, rm2, rx2, (2,)),
+            ],
+            backend="numpy",
+        )
+        h1, r1, c1 = _reference(x, matrix, rm1, rx1, (3,))
+        h2, r2, c2 = _reference(x, None, rm2, rx2, (2,))
+        assert np.array_equal(results[0].hist[3], h1[3])
+        assert np.array_equal(results[1].hist[2], h2[2])
+        assert np.array_equal(results[1].key_rows, r2)
+
+    def test_no_specs_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            fused_partial_fit(rng.standard_normal((5, 2)), [])
+
+    def test_bad_chunk_size_rejected(self, rng):
+        x = rng.standard_normal((5, 2))
+        spec = FusedStateSpec(None, np.array([-9.0, -9.0]), np.array([9.0, 9.0]), (2,))
+        with pytest.raises(ValidationError):
+            fused_partial_fit(x, [spec], chunk_size=0)
+
+    def test_depth_over_8_rejected(self, rng):
+        x = rng.standard_normal((5, 2))
+        spec = FusedStateSpec(None, np.array([-9.0, -9.0]), np.array([9.0, 9.0]), (9,))
+        with pytest.raises(ValidationError, match="depths"):
+            fused_partial_fit(x, [spec])
+
+    def test_matrix_shape_mismatch_rejected(self, rng):
+        x = rng.standard_normal((5, 3))
+        matrix = rng.standard_normal((4, 2))  # expects 4 features, x has 3
+        spec = FusedStateSpec(matrix, np.zeros(2), np.ones(2), (2,))
+        with pytest.raises(ValidationError, match="features"):
+            fused_partial_fit(x, [spec])
+
+    def test_launch_metrics_recorded(self, rng):
+        from repro.obs import default_registry
+
+        reg = default_registry()
+        if not reg.enabled:
+            reg.enable()
+        before = reg.counter(
+            "kernel_fused_rows_total",
+            "Points processed by the fused kernel path, per backend.",
+            ("backend",),
+        ).labels(backend="numpy").value
+        x = rng.standard_normal((33, 4))
+        spec = FusedStateSpec(
+            None, np.full(4, -9.0), np.full(4, 9.0), (3,)
+        )
+        fused_partial_fit(x, [spec], backend="numpy", chunk_size=10)
+        after = reg.counter(
+            "kernel_fused_rows_total",
+            "Points processed by the fused kernel path, per backend.",
+            ("backend",),
+        ).labels(backend="numpy").value
+        assert after - before == 33
+
+
+class TestDecodeKeyCodes:
+    def test_round_trip(self, rng):
+        rows = rng.integers(0, 256, size=(30, 6)).astype(np.uint8)
+        buf = np.zeros((30, 8), dtype=np.uint8)
+        buf[:, :6] = rows
+        codes = buf.view(">u8").ravel().astype(np.uint64)
+        assert np.array_equal(decode_key_codes(codes, 6), rows)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            decode_key_codes(np.zeros(1, dtype=np.uint64), 9)
+        with pytest.raises(ValidationError):
+            decode_key_codes(np.zeros(1, dtype=np.uint64), 0)

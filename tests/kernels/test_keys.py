@@ -66,6 +66,27 @@ class TestBinIndices:
         with pytest.raises(ValidationError):
             bin_indices(np.zeros((2, 2)), [0.0], [1.0], depth=2)
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_rejected_with_row_index(self, rng, bad):
+        # Regression: NaN used to survive the float floor and take an
+        # undefined int32 cast, yielding a wrong-but-plausible bin.
+        x = rng.random((20, 3))
+        x[11, 2] = bad
+        with pytest.raises(ValidationError, match=r"row\(s\) 11"):
+            bin_indices(x, [0] * 3, [1] * 3, depth=4)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_rejected_on_fused_path(self, rng, bad):
+        # The same batch must be rejected by the fused kernel path too.
+        from repro.kernels.fused import project_bin_count
+
+        x = rng.random((20, 3))
+        x[11, 2] = bad
+        with pytest.raises(ValidationError, match="non-finite"):
+            project_bin_count(
+                x, None, [0.0] * 3, [1.0] * 3, (4,), backend="numpy"
+            )
+
 
 class TestPrefixBins:
     def test_prefix_is_right_shift(self, rng):
@@ -136,3 +157,22 @@ class TestPackKeys:
     def test_1d_input_rejected(self):
         with pytest.raises(ValidationError):
             pack_keys(np.zeros(4, dtype=np.int32), depth=2)
+
+    def test_out_of_range_bin_rejected(self):
+        # Regression: a bin ≥ 2^depth used to bleed bits into the
+        # neighboring dimension's key field, silently corrupting keys.
+        bins = np.array([[1, 16, 2]], dtype=np.int32)  # 16 needs 5 bits
+        with pytest.raises(ValidationError, match="bleed"):
+            pack_keys(bins, depth=4)
+
+    def test_negative_bin_rejected(self):
+        with pytest.raises(ValidationError, match="pack_keys"):
+            pack_keys(np.array([[-1, 0]], dtype=np.int32), depth=4)
+
+    def test_float_bins_rejected(self):
+        with pytest.raises(ValidationError, match="integer"):
+            pack_keys(np.array([[1.0, 2.0]]), depth=4)
+
+    def test_boundary_bin_accepted(self):
+        keys = pack_keys(np.array([[15, 15]], dtype=np.int32), depth=4)
+        assert keys[0] == (15 << 4) | 15
