@@ -97,6 +97,57 @@ def test_partial_fit_overhead_disabled(disabled_default):
     _assert_within_tolerance("partial_fit", instrumented, baseline)
 
 
+def test_client_predict_trace_overhead_disabled(disabled_default):
+    """Request-path cost of the *disabled* request tracer (< 3%).
+
+    The serve client wraps every predict in ``get_tracer().root(...)``;
+    with no tracer configured that must cost nothing measurable against
+    a baseline whose ``get_tracer`` is stubbed out entirely (the
+    cheapest the instrumented client could possibly be). Timed over a
+    live in-thread server so the measured path is the real wire path.
+    """
+    from repro.core.estimator import KeyBin2
+    from repro.data.gaussians import gaussian_mixture
+    from repro.obs.reqtrace import NOOP_SPAN, get_tracer
+    from repro.serve import BatchPolicy, ModelRegistry, ServeClient, serve_in_thread
+    from repro.serve import client as client_mod
+
+    assert not get_tracer().enabled  # the variant under test: disabled
+
+    class _StubTracer:
+        @staticmethod
+        def root(name, **kwargs):
+            return NOOP_SPAN
+
+    stub = _StubTracer()
+    x, _ = gaussian_mixture(n_points=256, n_dims=16, n_clusters=4, seed=3)
+    model = KeyBin2(n_projections=4, seed=3).fit(x).model_
+    registry = ModelRegistry()
+    registry.publish(model)
+
+    original = client_mod.get_tracer
+    best_inst = best_base = float("inf")
+    with serve_in_thread(registry,
+                         policy=BatchPolicy(max_delay_s=0.001)) as handle:
+        with ServeClient(*handle.address) as client:
+            client.predict(x[0])  # warm connection + caches
+            try:
+                for i in range(REPEATS):
+                    row = x[i % 256]
+                    t0 = time.perf_counter()
+                    client.predict(row)
+                    best_inst = min(best_inst, time.perf_counter() - t0)
+
+                    client_mod.get_tracer = lambda: stub
+                    t0 = time.perf_counter()
+                    client.predict(row)
+                    best_base = min(best_base, time.perf_counter() - t0)
+                    client_mod.get_tracer = original
+            finally:
+                client_mod.get_tracer = original
+    _assert_within_tolerance("client.predict", best_inst, best_base)
+
+
 def test_predict_rows_overhead_disabled(disabled_default):
     from repro.core.estimator import KeyBin2
     from repro.data.gaussians import gaussian_mixture

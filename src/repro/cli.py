@@ -16,6 +16,9 @@ Usage::
     python -m repro fleet-bench [--sizes 1,2,4] [--check]
     python -m repro kernels-bench [--backend numpy] [--check]
     python -m repro obs-report [--ranks 3] [--frames 160] [--json]
+    python -m repro obs-trace traces/*.jsonl [--trace ID] [--json]
+    python -m repro obs-dashboard --target r0=127.0.0.1:8765 [--once|--demo]
+    python -m repro obs-collect --target r0=127.0.0.1:8765 [--port 9800]
 
 ``--scale 1.0`` runs paper-sized experiments (hours on a workstation);
 the defaults finish in minutes on a laptop and preserve the shape of
@@ -178,6 +181,13 @@ def _serve_common_flags(parser: argparse.ArgumentParser) -> None:
                              "deadline_ms (default: none)")
     parser.add_argument("--drain-s", type=float, default=5.0,
                         help="graceful-drain hard cutoff on shutdown (seconds)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export request-trace spans to this JSONL file "
+                             "('{pid}' expands per process); absent = tracing "
+                             "disabled, zero request overhead")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        help="head-based sample rate for traces started here "
+                             "(error spans always export)")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -213,6 +223,10 @@ def _run_serve(argv: List[str]) -> int:
     parser.add_argument("--metrics-every", type=float, default=30.0,
                         help="seconds between --metrics-log snapshots")
     args = parser.parse_args(argv)
+    if args.trace_out is not None:
+        from repro.obs import configure_tracer
+
+        configure_tracer(args.trace_out, sample_rate=args.trace_sample)
 
     registry = ModelRegistry()
     version = registry.publish(_load_or_demo_model(args), tag="serve-startup")
@@ -374,6 +388,16 @@ def _run_fleet(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.port == 8765:
         args.port = 8900  # don't default onto the single-server port
+    if args.trace_out is not None:
+        # The router process traces its route/forward hops; each replica
+        # subprocess gets the same --trace-out (with {pid} so N processes
+        # write N files obs-trace reads back together).
+        from repro.obs import configure_tracer
+
+        trace_path = args.trace_out
+        if "{pid}" not in trace_path:
+            trace_path += ".{pid}"
+        configure_tracer(trace_path, sample_rate=args.trace_sample)
 
     # Process replicas load from disk; --demo fits once and saves a temp
     # artifact every replica (and the shard model) shares.
@@ -406,6 +430,9 @@ def _run_fleet(argv: List[str]) -> int:
     extra += ["--max-batch", str(args.max_batch),
               "--window-ms", str(args.window_ms),
               "--queue", str(args.queue), "--drain-s", str(args.drain_s)]
+    if args.trace_out is not None:
+        extra += ["--trace-out", trace_path,
+                  "--trace-sample", str(args.trace_sample)]
 
     sup = ReplicaSupervisor(model_path, n_replicas=args.replicas,
                             mode="process", extra_args=extra)
@@ -599,6 +626,198 @@ def _run_obs_report(argv: List[str]) -> int:
     return 0
 
 
+def _run_obs_trace(argv: List[str]) -> int:
+    import json as _json
+
+    from repro.obs import build_traces, load_spans, render_trace, trace_summary
+    from repro.obs.report import trace_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-trace",
+        description="Reconstruct distributed request traces from span JSONL "
+                    "files (written via --trace-out) and render each tree "
+                    "with per-hop latency and a paper-§3 critical path.",
+    )
+    parser.add_argument("files", nargs="+",
+                        help="span JSONL file(s) or globs, e.g. "
+                             "'traces/*.jsonl'")
+    parser.add_argument("--trace", default=None, metavar="ID",
+                        help="render only this 16-hex trace id")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="max traces to render (newest first)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit trace summaries as JSON instead of trees")
+    args = parser.parse_args(argv)
+
+    records = load_spans(args.files)
+    trees = build_traces(records)
+    if args.trace is not None:
+        trees = {k: v for k, v in trees.items() if k == args.trace}
+    if not trees:
+        print("no trace spans found", file=sys.stderr)
+        return 1
+    ordered = sorted(
+        trees.values(),
+        key=lambda t: max(
+            (s.get("start", 0.0) for s in t.spans.values()), default=0.0
+        ),
+        reverse=True,
+    )[:max(1, args.limit)]
+    if args.json:
+        print(_json.dumps([trace_summary(t) for t in ordered], sort_keys=True))
+        return 0
+    shown = 0
+    for tree in ordered:
+        if shown:
+            print()
+        print(render_trace(tree))
+        print(trace_table(trace_summary(tree)))
+        shown += 1
+    print(f"\n{len(trees)} trace(s) in {len(records)} spans"
+          + (f"; showing {shown}" if shown < len(trees) else ""))
+    return 0
+
+
+def _parse_collect_targets(specs: List[str]):
+    """``id=host:port`` (or bare ``host:port``) specs → collector targets."""
+    targets = []
+    for spec in specs:
+        name, eq, addr = spec.rpartition("=")
+        host, _, port = addr.rpartition(":")
+        if not host or not port:
+            raise SystemExit(f"bad --target {spec!r} (want [id=]host:port)")
+        targets.append((name if eq else addr, host, int(port)))
+    return targets
+
+
+def _collector_from_args(args):
+    from repro.obs import MetricsCollector
+
+    snapshot_files = []
+    for spec in getattr(args, "snapshots", None) or []:
+        name, eq, path = spec.partition("=")
+        snapshot_files.append((name if eq else path, path if eq else name))
+    return MetricsCollector(
+        targets=_parse_collect_targets(args.target),
+        snapshot_files=snapshot_files,
+        interval_s=args.interval,
+    )
+
+
+def _obs_demo_fleet(args):
+    """In-process replica + traffic for --demo dashboard/collector runs."""
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.client import ServeClient
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import serve_in_thread
+
+    registry = ModelRegistry()
+    args.model = None
+    args.demo = True
+    model = _load_or_demo_model(args)
+    registry.publish(model, tag="obs-demo")
+    handle = serve_in_thread(
+        registry, policy=BatchPolicy(max_batch=64, max_delay_s=0.002)
+    )
+    host, port = handle.address
+    with ServeClient(host, port) as client:
+        rng_row = [0.0] * model.projection.shape[0]
+        for _ in range(40):
+            client.predict(rng_row)
+    return handle, [("demo-replica", host, port)]
+
+
+def _run_obs_dashboard(argv: List[str]) -> int:
+    from repro.obs import MetricsCollector, run_dashboard
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-dashboard",
+        description="Live terminal dashboard over a fleet: per-replica QPS, "
+                    "queue depth, p99, cache hits, breaker state, and firing "
+                    "SLO burn-rate alerts.",
+    )
+    parser.add_argument("--target", action="append", default=[],
+                        metavar="[ID=]HOST:PORT",
+                        help="replica/router metrics endpoint (repeatable)")
+    parser.add_argument("--snapshots", action="append", default=[],
+                        metavar="[ID=]PATH",
+                        help="SnapshotLogger JSONL file to fold in "
+                             "(repeatable; SPMD ranks)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="collector pull + refresh cadence (seconds)")
+    parser.add_argument("--window", type=float, default=10.0,
+                        help="rate/quantile window (seconds)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit (CI check)")
+    parser.add_argument("--demo", action="store_true",
+                        help="spin up an in-process demo replica with traffic "
+                             "(no fleet required)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    demo_handle = None
+    if args.demo:
+        demo_handle, targets = _obs_demo_fleet(args)
+        args.target = [f"{i}={h}:{p}" for i, h, p in targets]
+    elif not args.target and not args.snapshots:
+        raise SystemExit("need --target, --snapshots, or --demo")
+    collector = _collector_from_args(args)
+    try:
+        collector.poll_once()
+        if args.once:
+            run_dashboard(collector, once=True, window_s=args.window)
+            return 0
+        with collector:
+            run_dashboard(collector, interval_s=args.interval,
+                          window_s=args.window)
+    finally:
+        if demo_handle is not None:
+            demo_handle.stop()
+    return 0
+
+
+def _run_obs_collect(argv: List[str]) -> int:
+    import time as _time
+
+    from repro.obs import collector_in_thread
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-collect",
+        description="Run the fleet metrics collector: pull every target, "
+                    "evaluate SLO burn-rate alerts, and serve one merged "
+                    "metrics/alerts endpoint (newline-JSON protocol).",
+    )
+    parser.add_argument("--target", action="append", default=[],
+                        metavar="[ID=]HOST:PORT",
+                        help="replica/router metrics endpoint (repeatable)")
+    parser.add_argument("--snapshots", action="append", default=[],
+                        metavar="[ID=]PATH",
+                        help="SnapshotLogger JSONL file to fold in")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9800,
+                        help="merged endpoint port (0 = ephemeral)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="pull cadence (seconds)")
+    args = parser.parse_args(argv)
+    if not args.target and not args.snapshots:
+        raise SystemExit("need at least one --target or --snapshots")
+
+    collector = _collector_from_args(args)
+    handle = collector_in_thread(collector, host=args.host, port=args.port)
+    with handle:
+        host, port = handle.address
+        print(f"collector pulling {len(collector.targets)} target(s) + "
+              f"{len(collector.snapshot_files)} snapshot file(s) every "
+              f"{args.interval}s; merged endpoint on {host}:{port}")
+        print("ops: metrics, alerts, healthz")
+        try:
+            while True:
+                _time.sleep(1.0)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -614,6 +833,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_kernels_bench(argv[1:])
     if argv and argv[0] == "obs-report":
         return _run_obs_report(argv[1:])
+    if argv and argv[0] == "obs-trace":
+        return _run_obs_trace(argv[1:])
+    if argv and argv[0] == "obs-dashboard":
+        return _run_obs_dashboard(argv[1:])
+    if argv and argv[0] == "obs-collect":
+        return _run_obs_collect(argv[1:])
     args = _build_parser().parse_args(argv)
     names = (
         ["table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",

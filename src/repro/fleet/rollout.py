@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConnectionLostError, ServeError, ValidationError
+from repro.obs.reqtrace import get_tracer
 
 __all__ = ["RolloutConfig", "RolloutError", "RolloutManager"]
 
@@ -107,6 +108,7 @@ class RolloutManager:
         self.config = config if config is not None else RolloutConfig()
         self.state = "idle"
         self.history: List[Dict[str, Any]] = []
+        self._trace_parent = None  # rollout/run span while a rollout is live
         reg = router.registry
         self._m_state = reg.gauge(
             "fleet_rollout_state",
@@ -125,6 +127,12 @@ class RolloutManager:
         self._m_state.set(ROLLOUT_STATES.index(state))
         self.history.append({"at": time.time(), "state": state, **detail})
         del self.history[:-50]  # bounded memory on long-lived routers
+        # Stage transitions are rare and operationally load-bearing, so
+        # they export as always-sampled trace events linked under the
+        # rollout/run span (one trace per rollout in obs-trace output).
+        get_tracer().event(
+            f"rollout/{state}", parent=self._trace_parent, attrs=detail
+        )
 
     # -- the rollout ---------------------------------------------------------
 
@@ -134,6 +142,20 @@ class RolloutManager:
         Raises :class:`RolloutError` on any abort — in which case every
         replica that promoted has been rolled back to the old artifact.
         """
+        # Each rollout is its own (force-sampled) trace; the stage events
+        # _set_state emits hang under this span. A RolloutError escaping
+        # marks the span status via its .code ("rollout_failed").
+        span = get_tracer().root("rollout/run", force=True,
+                                 attrs={"path": path})
+        with span:
+            self._trace_parent = span if span.context is not None else None
+            try:
+                return await self._run_staged(path, tag)
+            finally:
+                self._trace_parent = None
+
+    async def _run_staged(self, path: str,
+                          tag: Optional[str]) -> Dict[str, Any]:
         fleet = self.router._healthy_states()
         if not fleet:
             raise RolloutError("cannot roll out: no healthy replica")

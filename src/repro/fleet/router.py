@@ -64,6 +64,7 @@ from repro.fleet.hashring import ConsistentHashRing
 from repro.fleet.quotas import TenantQuotas
 from repro.obs import default_registry, render_json, render_prometheus
 from repro.obs.registry import MetricsRegistry
+from repro.obs.reqtrace import NOOP_SPAN, get_tracer, inject
 from repro.serve.client import PROBE_TIMEOUT_S, async_probe
 
 __all__ = ["FleetRouter", "RouterHandle", "router_in_thread"]
@@ -373,6 +374,36 @@ class FleetRouter:
             "Router-side forward latency (send to replica until its "
             "response line is read).",
         )
+        # Per-replica health gauges: enough signal on the dashboard to
+        # answer "why was this replica ejected" without reading logs —
+        # the probe outcome stream, the failure streak that crossed
+        # eject_after, and the EWMA load hint feeding the balancer.
+        self._m_probe = reg.counter(
+            "fleet_probe_total",
+            "Health probes per replica, by outcome (ok / fail / draining).",
+            ("replica", "outcome"),
+        )
+        self._m_replica_up = reg.gauge(
+            "fleet_replica_up",
+            "1 while the replica is in rotation, 0 while ejected.",
+            ("replica",),
+        )
+        self._m_load_hint = reg.gauge(
+            "fleet_replica_load_hint",
+            "EWMA of the replica's self-reported in_flight + queue_depth "
+            "(the capacity hint behind power-of-two-choices).",
+            ("replica",),
+        )
+        self._m_consec_failures = reg.gauge(
+            "fleet_replica_consecutive_failures",
+            "Current probe/transport failure streak (ejection trips at "
+            "eject_after).",
+            ("replica",),
+        )
+        for rid in self._states:
+            self._m_replica_up.labels(replica=rid).set(1)
+            self._m_load_hint.labels(replica=rid).set(0)
+            self._m_consec_failures.labels(replica=rid).set(0)
 
     # -- shard model ---------------------------------------------------------
 
@@ -506,26 +537,38 @@ class FleetRouter:
                 raise ServeError("replica is draining")
         except (ConnectionLostError, ServeError, ValueError):
             self._m_probe_fail.labels(replica=state.id).inc()
+            self._m_probe.labels(replica=state.id, outcome="fail").inc()
             self._note_failure(state)
             return
         load = float(payload.get("in_flight") or 0)
         load += float(payload.get("queue_depth") or 0)
         state.load_hint = 0.7 * state.load_hint + 0.3 * load
         state.polled = payload
+        self._m_probe.labels(replica=state.id, outcome="ok").inc()
+        self._m_load_hint.labels(replica=state.id).set(state.load_hint)
         self._note_probe_success(state)
 
     def _note_failure(self, state: ReplicaState) -> None:
         """One failed probe or transport attempt against ``state``."""
         state.readmit_streak = 0
         state.consecutive_failures += 1
+        self._m_consec_failures.labels(replica=state.id).set(
+            state.consecutive_failures
+        )
         if state.healthy and state.consecutive_failures >= self.eject_after:
             state.healthy = False
             state.ejections += 1
             self._m_ejections.labels(replica=state.id).inc()
+            self._m_replica_up.labels(replica=state.id).set(0)
             self._m_healthy.set(len(self._healthy_states()))
+            get_tracer().event("router/eject", attrs={
+                "replica": state.id,
+                "consecutive_failures": state.consecutive_failures,
+            })
 
     def _note_probe_success(self, state: ReplicaState) -> None:
         state.consecutive_failures = 0
+        self._m_consec_failures.labels(replica=state.id).set(0)
         if not state.healthy:
             state.readmit_streak += 1
             if state.readmit_streak >= self.readmit_after:
@@ -533,7 +576,12 @@ class FleetRouter:
                 state.readmit_streak = 0
                 state.readmissions += 1
                 self._m_readmissions.labels(replica=state.id).inc()
+                self._m_replica_up.labels(replica=state.id).set(1)
                 self._m_healthy.set(len(self._healthy_states()))
+                get_tracer().event("router/readmit", attrs={
+                    "replica": state.id,
+                    "readmissions": state.readmissions,
+                })
 
     # -- request path --------------------------------------------------------
 
@@ -572,9 +620,14 @@ class FleetRouter:
         that is what keeps router CPU per request O(dims), not O(batch).
         """
         if line.startswith(_PREDICT_PREFIX):
+            # Traced requests (rare; sampled at the client) always parse:
+            # the router must re-inject its forward span's context per
+            # attempt, so byte-transparent relay is reserved for the
+            # untraced hot path.
             need_parse = (
                 (self.quotas.enabled and b'"tenant"' in line)
                 or (self.shard_enabled and len(line) <= self.shard_parse_limit)
+                or (get_tracer().enabled and b'"trace"' in line)
             )
             if not need_parse:
                 return "predict", None
@@ -641,32 +694,66 @@ class FleetRouter:
                 ).inc()
                 return self._error_bytes(str(exc), err="shed", retryable=True)
         key = self._shard_key(request)
-        tried: List[str] = []
-        for _ in range(self.max_failovers + 1):
-            state = self._pick(key, tried)
-            if state is None:
-                break
-            state.outstanding += 1
-            t0 = time.perf_counter()
-            try:
-                response = await self._forward(state, line)
-            except ConnectionLostError:
-                tried.append(state.id)
-                self._note_failure(state)
-                self._m_routed.labels(replica=state.id, outcome="failover").inc()
-                continue
-            finally:
-                state.outstanding -= 1
-            self._m_forward.observe(time.perf_counter() - t0)
-            state.consecutive_failures = 0
-            self._m_routed.labels(
-                replica=state.id, outcome=self._classify_response(response)
-            ).inc()
-            return response
-        self._m_unroutable.inc()
-        return self._error_bytes(
-            "no healthy replica available", err="unavailable", retryable=True
+        tracer = get_tracer()
+        route_span = (
+            tracer.from_wire(request, "router/route")
+            if request is not None else NOOP_SPAN
         )
+        tried: List[str] = []
+        with route_span:
+            for _ in range(self.max_failovers + 1):
+                state = self._pick(key, tried)
+                if state is None:
+                    break
+                # Each forward attempt is its own span so a failover shows
+                # up as two router/forward children (the dead replica's
+                # marked !failover). The replica's server/predict span
+                # parents to the *attempt* that reached it, which means
+                # the line must be re-serialized with this attempt's span
+                # id — only for traced requests; untraced lines stay the
+                # raw client bytes.
+                fwd_span = tracer.child_of(
+                    route_span, "router/forward", attrs={"replica": state.id}
+                )
+                send_line = line
+                if fwd_span.context is not None:
+                    payload = dict(request)
+                    inject(payload, fwd_span)
+                    send_line = json.dumps(payload).encode("utf-8") + b"\n"
+                state.outstanding += 1
+                t0 = time.perf_counter()
+                try:
+                    with fwd_span:
+                        try:
+                            response = await self._forward(state, send_line)
+                        except ConnectionLostError:
+                            fwd_span.set_status("failover")
+                            raise
+                except ConnectionLostError:
+                    tried.append(state.id)
+                    self._note_failure(state)
+                    self._m_routed.labels(
+                        replica=state.id, outcome="failover"
+                    ).inc()
+                    continue
+                finally:
+                    state.outstanding -= 1
+                self._m_forward.observe(time.perf_counter() - t0)
+                state.consecutive_failures = 0
+                outcome = self._classify_response(response)
+                self._m_routed.labels(replica=state.id, outcome=outcome).inc()
+                route_span.set_attr("replica", state.id)
+                if tried:
+                    route_span.set_attr("failovers", len(tried))
+                if outcome != "ok":
+                    route_span.set_status(outcome)
+                return response
+            self._m_unroutable.inc()
+            route_span.set_status("unavailable")
+            return self._error_bytes(
+                "no healthy replica available", err="unavailable",
+                retryable=True,
+            )
 
     @staticmethod
     def _classify_response(response: bytes) -> str:

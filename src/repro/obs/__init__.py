@@ -7,8 +7,12 @@ registry     thread-safe labeled counters / gauges / fixed-bucket
              histograms; process-global default with a no-op mode
 trace        span-based phase tracing with parent/child nesting and
              explicit context propagation across threads and SPMD ranks
+reqtrace     distributed request tracing over the serve/fleet wire
+             (sampled, always-on-error; ``python -m repro obs-trace``)
 exposition   Prometheus-text + JSON rendering (the ``metrics`` RPC)
 logger       periodic JSON-lines snapshot writer for long in-situ runs
+collector    fleet-wide pull loop, SLO burn-rate alerts, merged endpoint
+dashboard    live terminal view of per-replica health + firing alerts
 report       ``python -m repro obs-report`` phase/comm breakdowns
 
 Quick tour::
@@ -25,7 +29,18 @@ Quick tour::
 
 from __future__ import annotations
 
-from repro.obs.exposition import ensure_core_series, render_json, render_prometheus
+from repro.obs.collector import (
+    CollectorHandle,
+    MetricsCollector,
+    collector_in_thread,
+)
+from repro.obs.dashboard import render_dashboard, run_dashboard
+from repro.obs.exposition import (
+    ensure_core_series,
+    render_families,
+    render_json,
+    render_prometheus,
+)
 from repro.obs.logger import SnapshotLogger
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
@@ -38,26 +53,72 @@ from repro.obs.registry import (
     set_default_registry,
 )
 from repro.obs.report import comm_table, fleet_table, phase_table, run_obs_report
+from repro.obs.reqtrace import (
+    RequestTracer,
+    TraceContext,
+    TraceSink,
+    build_traces,
+    configure_tracer,
+    extract,
+    get_tracer,
+    inject,
+    load_spans,
+    render_trace,
+    reset_tracer,
+    trace_summary,
+)
+from repro.obs.slo import (
+    Alert,
+    SeriesStore,
+    SLOEvaluator,
+    SLORule,
+    Window,
+    default_rules,
+)
 from repro.obs.trace import PhaseTracer, Span, trace
 
 __all__ = [
+    "Alert",
+    "CollectorHandle",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
     "Histogram",
+    "MetricsCollector",
     "MetricsRegistry",
     "POW2_BUCKETS",
     "PhaseTracer",
+    "RequestTracer",
+    "SLOEvaluator",
+    "SLORule",
+    "SeriesStore",
     "SnapshotLogger",
     "Span",
+    "TraceContext",
+    "TraceSink",
+    "Window",
+    "build_traces",
+    "collector_in_thread",
     "comm_table",
+    "configure_tracer",
     "default_registry",
+    "default_rules",
     "ensure_core_series",
+    "extract",
     "fleet_table",
+    "get_tracer",
+    "inject",
+    "load_spans",
     "phase_table",
+    "render_dashboard",
+    "render_families",
     "render_json",
     "render_prometheus",
+    "render_trace",
+    "reset_tracer",
+    "run_dashboard",
     "run_obs_report",
     "set_default_registry",
     "trace",
+    "trace_summary",
 ]

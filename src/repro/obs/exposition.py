@@ -20,7 +20,8 @@ from typing import Any, Dict, Iterable, List, Sequence, Union
 
 from repro.obs.registry import MetricsRegistry, default_registry
 
-__all__ = ["ensure_core_series", "render_json", "render_prometheus"]
+__all__ = ["ensure_core_series", "render_families", "render_json",
+           "render_prometheus"]
 
 
 def _as_registries(
@@ -53,6 +54,12 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    # Per the text-format spec, HELP lines escape backslash and newline
+    # (but not quotes — those are only special inside label values).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
     pairs = {**labels, **extra}
     if not pairs:
@@ -68,15 +75,21 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-def render_prometheus(
-    registries: Union[MetricsRegistry, Sequence[MetricsRegistry], None] = None,
-) -> str:
-    """Prometheus text exposition format (version 0.0.4)."""
+def render_families(families: Iterable[Dict[str, Any]]) -> str:
+    """Prometheus text exposition (0.0.4) from collected family dicts.
+
+    The shared renderer behind :func:`render_prometheus` (local
+    registries) and the fleet :class:`~repro.obs.collector.MetricsCollector`
+    (families merged across scraped replicas, with an ``instance``
+    label). Histogram samples emit cumulative ``le`` buckets ending in
+    ``+Inf`` plus ``_sum``/``_count``; label values and HELP text are
+    escaped per the spec.
+    """
     lines: List[str] = []
-    for fam in _merged_families(_as_registries(registries)):
+    for fam in families:
         name = fam["name"]
         if fam["help"]:
-            lines.append(f"# HELP {name} {fam['help']}")
+            lines.append(f"# HELP {name} {_escape_help(str(fam['help']))}")
         lines.append(f"# TYPE {name} {fam['type']}")
         for sample in fam["samples"]:
             labels = sample["labels"]
@@ -98,6 +111,13 @@ def render_prometheus(
                     f"{_format_value(sample['value'])}"
                 )
     return "\n".join(lines) + "\n"
+
+
+def render_prometheus(
+    registries: Union[MetricsRegistry, Sequence[MetricsRegistry], None] = None,
+) -> str:
+    """Prometheus text exposition format (version 0.0.4)."""
+    return render_families(_merged_families(_as_registries(registries)))
 
 
 def render_json(

@@ -95,7 +95,19 @@ class SnapshotLogger:
     # -- internals -----------------------------------------------------------
 
     def _run(self) -> None:
-        while not self._stop.wait(self.interval_s):
+        # Sleep until the next tick *boundary* (t0 + n·interval), not a
+        # fixed interval after each write: a write that takes w seconds
+        # would otherwise stretch the cadence to interval+w and drift the
+        # snapshot timestamps unboundedly over a long in-situ run. Ticks
+        # the writer cannot keep up with are skipped, never queued.
+        t0 = time.monotonic()
+        tick = 0
+        while True:
+            now = time.monotonic()
+            tick = max(tick + 1, int((now - t0) / self.interval_s) + 1)
+            next_tick = t0 + tick * self.interval_s
+            if self._stop.wait(max(0.0, next_tick - now)):
+                return
             self._write_snapshot()
 
     def _write_snapshot(self) -> None:

@@ -32,6 +32,7 @@ __all__ = [
     "recovery_table",
     "overload_table",
     "fleet_table",
+    "trace_table",
 ]
 
 
@@ -266,6 +267,48 @@ def fleet_table(reg: MetricsRegistry) -> str:
     if rollouts:
         detail = "  ".join(f"{k}={v}" for k, v in sorted(rollouts.items()))
         lines.append(f"  rollouts: {detail}")
+    return "\n".join(lines)
+
+
+def trace_table(summary: Dict[str, Any]) -> str:
+    """Render one distributed trace's critical-path breakdown.
+
+    Takes the dict from :func:`repro.obs.reqtrace.trace_summary`: per-hop
+    self time (exclusive of children) plus the same time folded to the
+    paper-§3 phase each hop implements. On a connected tree the self
+    times sum to the root duration, so ``share`` columns add to 100%.
+    """
+    total = summary.get("total_s") or 0.0
+    accounted = summary.get("accounted_s") or 0.0
+    denom = accounted or 1.0
+    lines = [
+        f"  spans={summary.get('spans', 0)}  "
+        f"connected={'yes' if summary.get('connected') else 'NO'}  "
+        f"total={total * 1e3:.3f} ms  accounted={accounted * 1e3:.3f} ms",
+    ]
+    hops = summary.get("hops", {})
+    if hops:
+        width = max(len(h) for h in hops)
+        lines.append(
+            f"  {'hop':<{width}}  {'count':>5}  {'total ms':>9}  "
+            f"{'self ms':>9}  {'share':>6}  status"
+        )
+        for name, hop in sorted(hops.items(), key=lambda kv: -kv[1]["self_s"]):
+            status = hop.get("status", "ok")
+            lines.append(
+                f"  {name:<{width}}  {hop['count']:>5}  "
+                f"{hop['total_s'] * 1e3:>9.3f}  {hop['self_s'] * 1e3:>9.3f}  "
+                f"{hop['self_s'] / denom * 100:>5.1f}%  "
+                f"{'' if status == 'ok' else '!' + status}"
+            )
+    phases = summary.get("phases", {})
+    if phases:
+        lines.append("  critical path by paper-§3 phase:")
+        for phase, secs in sorted(phases.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"    {phase:<32}  {secs * 1e3:>9.3f} ms  "
+                f"{secs / denom * 100:>5.1f}%"
+            )
     return "\n".join(lines)
 
 

@@ -34,7 +34,26 @@ from typing import Iterable, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, default_registry
 
-__all__ = ["PhaseTracer", "Span", "trace"]
+# Wire-level trace context (cross-process request tracing) lives in
+# repro.obs.reqtrace; re-exported here so the two tracing surfaces —
+# in-process phase spans and on-the-wire request spans — share one
+# import point.
+from repro.obs.reqtrace import (  # noqa: F401  (re-exports)
+    TraceContext,
+    extract,
+    get_tracer,
+    inject,
+)
+
+__all__ = [
+    "PhaseTracer",
+    "Span",
+    "TraceContext",
+    "extract",
+    "get_tracer",
+    "inject",
+    "trace",
+]
 
 _CALLS_HELP = "Completed phase spans, by slash-joined phase path."
 _SECONDS_HELP = "Total seconds spent inside phase spans, by phase path."

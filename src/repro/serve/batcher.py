@@ -34,7 +34,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.obs import trace
+from repro.obs.reqtrace import TraceContext, get_tracer
 from repro.serve.stats import ServeStats
 
 __all__ = ["BatchPolicy", "MicroBatcher"]
@@ -122,14 +123,21 @@ class MicroBatcher:
         predict_rows: Callable[[np.ndarray], Tuple[np.ndarray, Any]],
         policy: Optional[BatchPolicy] = None,
         stats: Optional[ServeStats] = None,
+        flush_info: Optional[Callable[[], Dict[str, Any]]] = None,
     ):
         self.predict_rows = predict_rows
         self.policy = policy or BatchPolicy()
         self.stats = stats
-        # Entries are (row, future, deadline, enqueue_time); deadline is an
-        # absolute time.monotonic() instant or None (never expires).
+        # Optional post-flush introspection hook (the server wires it to
+        # the inference service's last-flush cache accounting) so traced
+        # model-call spans can say whether the flush was a pure cache hit.
+        self.flush_info = flush_info
+        # Entries are (row, future, deadline, enqueue_time, trace_ctx);
+        # deadline is an absolute time.monotonic() instant or None (never
+        # expires), trace_ctx the request's wire TraceContext or None.
         self._pending: List[Tuple[np.ndarray, asyncio.Future,
-                                  Optional[float], float]] = []
+                                  Optional[float], float,
+                                  Optional[TraceContext]]] = []
         self._wakeup: Optional[asyncio.Event] = None
         self._task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -165,7 +173,8 @@ class MicroBatcher:
     # -- submission ------------------------------------------------------------
 
     def submit_nowait(
-        self, row: np.ndarray, deadline: Optional[float] = None
+        self, row: np.ndarray, deadline: Optional[float] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> asyncio.Future:
         """Queue one point; return the future resolving to ``(label, extra)``.
 
@@ -192,13 +201,15 @@ class MicroBatcher:
             )
         assert self._loop is not None and self._wakeup is not None
         fut = self._loop.create_future()
-        self._pending.append((row, fut, deadline, time.monotonic()))
+        self._pending.append((row, fut, deadline, time.monotonic(), trace_ctx))
         self._wakeup.set()
         return fut
 
-    async def submit(self, row: np.ndarray, deadline: Optional[float] = None):
+    async def submit(self, row: np.ndarray, deadline: Optional[float] = None,
+                     trace_ctx: Optional[TraceContext] = None):
         """Queue one point; await ``(label, extra)`` from its flush."""
-        return await self.submit_nowait(row, deadline=deadline)
+        return await self.submit_nowait(row, deadline=deadline,
+                                        trace_ctx=trace_ctx)
 
     # -- worker ---------------------------------------------------------------
 
@@ -215,7 +226,7 @@ class MicroBatcher:
             # submit() raises instead of enqueueing rows nobody will flush.
             self._crashed = exc
             pending, self._pending = self._pending, []
-            for _, fut, _, _ in pending:
+            for _, fut, _, _, _ in pending:
                 if not fut.done():
                     fut.set_exception(
                         ServeError(f"batcher worker crashed: {exc!r}")
@@ -270,48 +281,51 @@ class MicroBatcher:
                 # _flush failing is a bug (it confines per-batch errors
                 # itself) — but this batch is already popped, so fail its
                 # futures here before the crash wrapper handles the rest.
-                for _, fut, _, _ in batch:
+                for _, fut, _, _, _ in batch:
                     if not fut.done():
                         fut.set_exception(
                             ServeError(f"batcher worker crashed: {exc!r}")
                         )
                 raise
 
-    def _shed_expired(
-        self,
-        batch: List[Tuple[np.ndarray, asyncio.Future, Optional[float], float]],
-    ) -> List[Tuple[np.ndarray, asyncio.Future, Optional[float], float]]:
+    def _shed_expired(self, batch: List[Tuple]) -> List[Tuple]:
         """Record queue-wait for every entry; shed the expired ones.
 
         Returns the still-live entries. Runs *before* the model call, so an
         expired row never burns model time and its caller gets an explicit
         :class:`DeadlineExceededError` instead of a label it no longer
-        wants (or a hung future).
+        wants (or a hung future). Traced entries get their ``server/queue``
+        span emitted here — for shed rows with status ``deadline_exceeded``,
+        which the tracer always exports regardless of sampling.
         """
         now = time.monotonic()
+        tracer = get_tracer()
         live = []
         for entry in batch:
-            _, fut, deadline, t_enq = entry
+            _, fut, deadline, t_enq, trace_ctx = entry
+            wait = now - t_enq
             if self.stats is not None:
-                self.stats.record_queue_wait(now - t_enq)
+                self.stats.record_queue_wait(wait)
             if deadline is not None and now > deadline:
                 if not fut.done():
                     fut.set_exception(
                         DeadlineExceededError(
                             "deadline expired while queued "
-                            f"({(now - t_enq) * 1e3:.1f} ms in queue)"
+                            f"({wait * 1e3:.1f} ms in queue)"
                         )
                     )
                 if self.stats is not None:
                     self.stats.record_deadline_expired("queue")
+                if trace_ctx is not None and tracer.enabled:
+                    tracer.emit_timed("server/queue", trace_ctx, wait,
+                                      status="deadline_exceeded")
             else:
+                if trace_ctx is not None and tracer.enabled:
+                    tracer.emit_timed("server/queue", trace_ctx, wait)
                 live.append(entry)
         return live
 
-    def _flush(
-        self,
-        batch: List[Tuple[np.ndarray, asyncio.Future, Optional[float], float]],
-    ) -> None:
+    def _flush(self, batch: List[Tuple]) -> None:
         batch = self._shed_expired(batch)
         if not batch:
             return
@@ -322,7 +336,7 @@ class MicroBatcher:
             # batch's futures, not kill the worker task.
             with trace.span("flush"):
                 rows = np.asarray(
-                    [row for row, _, _, _ in batch], dtype=np.float64
+                    [row for row, _, _, _, _ in batch], dtype=np.float64
                 )
                 raw_labels, extra = self.predict_rows(rows)
                 labels = [int(v) for v in raw_labels]
@@ -332,18 +346,53 @@ class MicroBatcher:
                     f"for {len(batch)} rows"
                 )
         except Exception as exc:
-            for _, fut, _, _ in batch:
+            tracer = get_tracer()
+            for _, fut, _, _, trace_ctx in batch:
                 if not fut.done():
                     fut.set_exception(exc)
+                if trace_ctx is not None and tracer.enabled:
+                    tracer.emit_timed(
+                        "server/model_call", trace_ctx,
+                        time.perf_counter() - t0, status="model_error",
+                    )
             if self.stats is not None:
                 self.stats.record_error()
             return
         service_s = time.perf_counter() - t0
         # Resolve futures before stats bookkeeping: a stats failure must
         # never strand a batch that was already labeled successfully.
-        for (_, fut, _, _), label in zip(batch, labels):
+        for (_, fut, _, _, _), label in zip(batch, labels):
             if not fut.done():
                 fut.set_result((label, extra))
+        self._emit_model_spans(batch, service_s)
         if self.stats is not None:
             version = getattr(extra, "version", -1)
             self.stats.record_batch(len(batch), service_s, version)
+
+    def _emit_model_spans(self, batch: List[Tuple], service_s: float) -> None:
+        """One ``server/model_call`` span per traced row of the flush.
+
+        Every traced co-traveler shares the flush's service time and its
+        batch/cache attributes — which is exactly the point: the trace
+        shows a request's latency being amortized over the batch it rode
+        in. A flush fully served from the label cache renames the hop
+        ``server/cache_hit`` so cache efficacy is visible per trace.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        traced = [ctx for _, _, _, _, ctx in batch if ctx is not None]
+        if not traced:
+            return
+        attrs: Dict[str, Any] = {"batch_size": len(batch)}
+        name = "server/model_call"
+        if self.flush_info is not None:
+            try:
+                info = dict(self.flush_info() or {})
+            except Exception:  # introspection must never fail a flush
+                info = {}
+            attrs.update(info)
+            if info.get("unique_misses") == 0:
+                name = "server/cache_hit"
+        for ctx in traced:
+            tracer.emit_timed(name, ctx, service_s, attrs=attrs)

@@ -32,6 +32,7 @@ from repro.errors import (
     ShedError,
 )
 from repro.obs import default_registry
+from repro.obs.reqtrace import get_tracer, inject
 
 __all__ = ["ServeClient", "AsyncServeClient", "PredictResult", "probe",
            "async_probe", "PROBE_TIMEOUT_S"]
@@ -281,8 +282,19 @@ class ServeClient:
             payload["deadline_ms"] = float(deadline_ms)
         if tenant is not None:
             payload["tenant"] = str(tenant)
-        response = _raise_on_error(self._request_idempotent(payload))
-        return _predict_result(response)
+        # Root span of the distributed trace. With no tracer configured
+        # this is a shared no-op object and the payload goes out
+        # byte-identical to the untraced protocol; typed server errors
+        # (shed / deadline / circuit-open) carry a ``.code`` the span's
+        # exit records as its status, and error spans are always exported
+        # regardless of the head-based sampling decision.
+        with get_tracer().root("client/predict") as span:
+            if span.context is not None:
+                inject(payload, span)
+            response = _raise_on_error(self._request_idempotent(payload))
+            result = _predict_result(response)
+            span.set_attr("version", result.version)
+            return result
 
     def model_info(self) -> Dict[str, Any]:
         return _raise_on_error(self._request_idempotent({"op": "model-info"}))
@@ -402,8 +414,15 @@ class AsyncServeClient:
             payload["deadline_ms"] = float(deadline_ms)
         if tenant is not None:
             payload["tenant"] = str(tenant)
-        response = _raise_on_error(await self.request(payload))
-        return _predict_result(response)
+        # Same root-span discipline as the blocking client; see
+        # ServeClient.predict for the sampling / error-status contract.
+        with get_tracer().root("client/predict") as span:
+            if span.context is not None:
+                inject(payload, span)
+            response = _raise_on_error(await self.request(payload))
+            result = _predict_result(response)
+            span.set_attr("version", result.version)
+            return result
 
     async def healthz(self) -> Dict[str, Any]:
         return _raise_on_error(await self.request({"op": "healthz"}))

@@ -67,6 +67,7 @@ from repro.obs import (
     render_prometheus,
     trace,
 )
+from repro.obs.reqtrace import get_tracer
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -99,6 +100,11 @@ class InferenceService:
         self.registry = registry
         self.cache = cache if cache is not None else LabelCache()
         self.stats = stats if stats is not None else ServeStats()
+        #: Cache accounting of the most recent predict_rows call; read by
+        #: the micro-batcher's flush_info hook so traced model-call spans
+        #: can report batch size and cache efficacy. Plain dict replace
+        #: (atomic under the GIL) — no lock on the hot path.
+        self.last_flush_info: Dict[str, int] = {}
 
     def predict_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, ModelRecord]:
         """Label a (B × N) batch; returns ``(labels, record)``.
@@ -127,6 +133,10 @@ class InferenceService:
                 for pos, label in zip(miss_positions, fresh):
                     uniq_labels[pos] = label
                     self.cache.put(record.version, int(uniq[pos]), int(label))
+            self.last_flush_info = {
+                "unique_codes": int(uniq.size),
+                "unique_misses": len(miss_positions),
+            }
             return uniq_labels[inverse], record
 
     def predict_single(self, row: np.ndarray) -> Tuple[int, ModelRecord]:
@@ -200,7 +210,8 @@ class ModelServer:
         self.cache = LabelCache(cache_size)
         self.service = InferenceService(registry, cache=self.cache, stats=self.stats)
         self.batcher = MicroBatcher(
-            self.service.predict_rows, self.policy, stats=self.stats
+            self.service.predict_rows, self.policy, stats=self.stats,
+            flush_info=lambda: self.service.last_flush_info,
         )
         self.admission = AdmissionController(admission, stats=self.stats)
         self.circuit = CircuitBreaker(
@@ -352,48 +363,60 @@ class ModelServer:
             return {"ok": False, "error": str(exc)}
 
     async def _op_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        x = request.get("x")
-        if x is None:
-            raise ValidationError("predict request needs an 'x' field")
-        try:
-            rows = np.asarray(x, dtype=np.float64)
-        except (ValueError, TypeError):
-            raise ValidationError(
-                "'x' must be a numeric point or a batch of equal-length points"
-            ) from None
-        if rows.ndim == 1:
-            rows = rows[None, :]
-        if rows.ndim != 2 or rows.shape[0] == 0:
-            raise ValidationError("'x' must be one point or a non-empty batch")
-        # Deadline parsing happens before admission: a garbage deadline is
-        # a client bug (ValidationError), not an overload signal, and must
-        # not consume a token.
-        deadline = resolve_deadline(request, self.admission.policy)
-        self.admission.try_admit()  # ShedError under overload / drain
-        try:
-            self.stats.record_request(rows.shape[0])
-            self.circuit.allow()  # CircuitOpenError while tripped
+        # from_wire is a no-op span unless the request carried a trace
+        # context *and* this process has a tracer configured; the span's
+        # exit converts any typed overload/deadline exception into an
+        # error status, which the tracer always exports (sampled or not).
+        t0 = time.perf_counter()
+        with get_tracer().from_wire(request, "server/predict") as span:
+            x = request.get("x")
+            if x is None:
+                raise ValidationError("predict request needs an 'x' field")
             try:
-                labels, record = await self._predict_admitted(rows, deadline)
-            except (ValidationError, DeadlineExceededError, QueueFullError):
-                # Says nothing about model health — free any probe slot
-                # without moving the breaker.
-                self.circuit.record_neutral()
-                raise
-            except Exception:
-                self.circuit.record_failure()
-                raise
-            self.circuit.record_success()
-        finally:
-            self.admission.release()
-        return {
-            "ok": True,
-            "labels": labels,
-            "version": record.version,
-            "fingerprint": record.fingerprint,
-        }
+                rows = np.asarray(x, dtype=np.float64)
+            except (ValueError, TypeError):
+                raise ValidationError(
+                    "'x' must be a numeric point or a batch of equal-length points"
+                ) from None
+            if rows.ndim == 1:
+                rows = rows[None, :]
+            if rows.ndim != 2 or rows.shape[0] == 0:
+                raise ValidationError("'x' must be one point or a non-empty batch")
+            # Deadline parsing happens before admission: a garbage deadline is
+            # a client bug (ValidationError), not an overload signal, and must
+            # not consume a token.
+            deadline = resolve_deadline(request, self.admission.policy)
+            with get_tracer().child_of(span, "server/admission"):
+                self.admission.try_admit()  # ShedError under overload / drain
+            try:
+                self.stats.record_request(rows.shape[0])
+                self.circuit.allow()  # CircuitOpenError while tripped
+                try:
+                    labels, record = await self._predict_admitted(
+                        rows, deadline, span
+                    )
+                except (ValidationError, DeadlineExceededError, QueueFullError):
+                    # Says nothing about model health — free any probe slot
+                    # without moving the breaker.
+                    self.circuit.record_neutral()
+                    raise
+                except Exception:
+                    self.circuit.record_failure()
+                    raise
+                self.circuit.record_success()
+            finally:
+                self.admission.release()
+            span.set_attr("rows", int(rows.shape[0]))
+            span.set_attr("version", record.version)
+            self.stats.record_request_latency(time.perf_counter() - t0)
+            return {
+                "ok": True,
+                "labels": labels,
+                "version": record.version,
+                "fingerprint": record.fingerprint,
+            }
 
-    async def _predict_admitted(self, rows: np.ndarray, deadline):
+    async def _predict_admitted(self, rows: np.ndarray, deadline, span):
         """Model-call half of predict; runs with an admission slot held."""
         if rows.shape[0] == 1:
             # Validate the lone row before it enters the micro-batcher: it
@@ -408,7 +431,9 @@ class ModelServer:
                 raise ValidationError(
                     "'x' contains non-finite value(s) (NaN/Inf)"
                 )
-            label, record = await self.batcher.submit(rows[0], deadline=deadline)
+            label, record = await self.batcher.submit(
+                rows[0], deadline=deadline, trace_ctx=span.context
+            )
             return [label], record
         # Pre-batched request: vectorize directly, skip the linger. The
         # batcher never sees it, so check the deadline here at dispatch.
@@ -417,8 +442,12 @@ class ModelServer:
             raise DeadlineExceededError("deadline expired before dispatch")
         t0 = time.perf_counter()
         arr, record = self.service.predict_rows(rows)
-        self.stats.record_batch(
-            rows.shape[0], time.perf_counter() - t0, record.version
+        service_s = time.perf_counter() - t0
+        self.stats.record_batch(rows.shape[0], service_s, record.version)
+        get_tracer().emit_timed(
+            "server/model_call", span, service_s,
+            attrs={"batch_size": int(rows.shape[0]),
+                   **self.service.last_flush_info},
         )
         return [int(v) for v in arr], record
 

@@ -117,6 +117,12 @@ class ServeStats:
             "Time a row spent in the micro-batch queue between submit and "
             "flush (or deadline shed).",
         )
+        self._request_latency = reg.histogram(
+            "serve_request_seconds",
+            "End-to-end server-side latency of successful predict requests "
+            "(admission through labels ready). The fleet collector derives "
+            "per-replica p99 from this family's bucket deltas.",
+        )
         self._circuit_trips = reg.counter(
             "serve_circuit_open_total",
             "Times the server-side circuit breaker tripped open.",
@@ -160,6 +166,9 @@ class ServeStats:
 
     def record_queue_wait(self, seconds: float) -> None:
         self._queue_wait.observe(float(seconds))
+
+    def record_request_latency(self, seconds: float) -> None:
+        self._request_latency.observe(float(seconds))
 
     def record_circuit_trip(self) -> None:
         self._circuit_trips.inc()

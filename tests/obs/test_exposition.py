@@ -61,6 +61,57 @@ class TestPrometheusText:
         assert render_prometheus(MetricsRegistry()).endswith("\n")
 
 
+class TestPrometheusConformance:
+    """Text-format (0.0.4) invariants the fleet scrapers rely on."""
+
+    def test_help_escapes_backslash_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", 'path\\to\nthing "quoted"').inc()
+        text = render_prometheus(reg)
+        assert '# HELP c_total path\\\\to\\nthing "quoted"' in text
+
+    def test_histogram_buckets_cumulative_and_terminated(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", "H.", buckets=(0.01, 0.1, 1.0),
+                          labelnames=("op",))
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.labels(op="x").observe(v)
+        text = render_prometheus(reg)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("h_seconds_bucket"):
+                counts.append(float(line.rsplit(" ", 1)[1]))
+        # Cumulative, monotone non-decreasing, +Inf last and == _count.
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in text.splitlines()[
+            [i for i, l in enumerate(text.splitlines())
+             if l.startswith("h_seconds_bucket")][-1]
+        ]
+        assert counts[-1] == 5.0
+        assert "h_seconds_count" in text and "h_seconds_sum" in text
+        count_line = next(l for l in text.splitlines()
+                          if l.startswith("h_seconds_count"))
+        assert float(count_line.rsplit(" ", 1)[1]) == counts[-1]
+
+    def test_every_sample_line_parses(self):
+        text = render_prometheus(_populated_registry())
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value is a valid float
+            assert name_part[0].isalpha() or name_part[0] == "_"
+
+    def test_le_label_merges_with_user_labels(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", "H.", buckets=(1.0,),
+                          labelnames=("op",))
+        h.labels(op="predict").observe(0.5)
+        text = render_prometheus(reg)
+        assert 'h_seconds_bucket{op="predict",le="1"} 1' in text
+        assert 'h_seconds_bucket{op="predict",le="+Inf"} 1' in text
+
+
 class TestJson:
     def test_shape_round_trips_through_json(self):
         payload = render_json(_populated_registry())
@@ -120,6 +171,35 @@ class TestSnapshotLogger:
         assert logger.snapshots_written >= 3  # >= 2 periodic + 1 final
         for line in sink.getvalue().splitlines():
             json.loads(line)  # every line parses whole
+
+    def test_slow_writes_do_not_stretch_cadence(self):
+        # A sink whose write takes ~1.5 intervals: fixed-sleep scheduling
+        # would drift the cadence to interval+write; tick-boundary
+        # scheduling instead skips missed ticks and stays aligned, so over
+        # the run we still land >= half the wall-clock tick count.
+        import time
+
+        reg = MetricsRegistry()
+        interval = 0.02
+
+        class SlowSink(io.StringIO):
+            def write(self, s):
+                time.sleep(interval * 1.5)
+                return super().write(s)
+
+        sink = SlowSink()
+        t0 = time.monotonic()
+        with SnapshotLogger(sink, interval_s=interval, registries=[reg]):
+            time.sleep(0.4)
+        elapsed = time.monotonic() - t0
+        ticks = elapsed / interval
+        lines = [l for l in sink.getvalue().splitlines() if l]
+        # Every ~1.5-tick write still lands on a boundary: close to
+        # ticks/1.5 snapshots, and never the drifted interval+write rate
+        # (which would cap at ticks/2.5).
+        assert len(lines) >= int(ticks / 2.5) + 1
+        for line in lines:
+            json.loads(line)
 
     def test_path_sink(self, tmp_path):
         reg = MetricsRegistry()

@@ -155,7 +155,7 @@ class TestFailureAndBackpressure:
             loop = asyncio.get_running_loop()
             backlog = [
                 (np.array([float(i)]), loop.create_future(), None,
-                 time.monotonic())
+                 time.monotonic(), None)
                 for i in range(4)
             ]
             batcher._pending.extend(backlog)
@@ -163,7 +163,7 @@ class TestFailureAndBackpressure:
                 await batcher.submit(np.array([9.0]))
             assert stats.rejected_total == 1
             await batcher.stop()  # drains the staged backlog cleanly
-            return [fut.result() for _, fut, _, _ in backlog]
+            return [fut.result() for _, fut, _, _, _ in backlog]
 
         results = run(scenario())
         assert [lab for lab, _ in results] == [0, 1, 2, 3]
