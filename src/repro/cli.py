@@ -14,6 +14,7 @@ Usage::
     python -m repro serve-bench --demo --requests 2000 --clients 16
     python -m repro fleet --model model.json --replicas 3 [--port 8900]
     python -m repro fleet-bench [--sizes 1,2,4] [--check]
+    python -m repro fleet-recover --journal-dir DIR --endpoints r0=H:P,...
     python -m repro kernels-bench [--backend numpy] [--check]
     python -m repro obs-report [--ranks 3] [--frames 160] [--json]
     python -m repro obs-trace traces/*.jsonl [--trace ID] [--json]
@@ -50,7 +51,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate KeyBin2 (ICPP'18) evaluation artifacts.",
         epilog=(
             "Serving commands (own flags; see `python -m repro serve --help`): "
-            "serve, serve-bench, fleet, fleet-bench. Telemetry: obs-report."
+            "serve, serve-bench, fleet, fleet-bench, fleet-recover. "
+            "Telemetry: obs-report."
         ),
     )
     parser.add_argument(
@@ -385,6 +387,18 @@ def _run_fleet(argv: List[str]) -> int:
     parser.add_argument("--monitor-every", type=float, default=2.0,
                         help="seconds between supervisor liveness sweeps "
                              "(dead replicas are restarted and re-routed)")
+    parser.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="directory for the crash-safe rollout journal; "
+                             "rollouts are write-ahead journaled, restarted "
+                             "replicas reconcile to the journal's artifact, "
+                             "and startup replays any interrupted rollout")
+    parser.add_argument("--run-for", type=float, default=None, metavar="SECS",
+                        help="exit (code 0) after SECS once the fleet serves "
+                             "a single fingerprint — CI smoke mode")
+    parser.add_argument("--chaos-kill", type=float, default=None,
+                        metavar="SECS",
+                        help="SIGKILL one replica (round-robin) every SECS "
+                             "to exercise restart reconciliation")
     args = parser.parse_args(argv)
     if args.port == 8765:
         args.port = 8900  # don't default onto the single-server port
@@ -434,16 +448,35 @@ def _run_fleet(argv: List[str]) -> int:
         extra += ["--trace-out", trace_path,
                   "--trace-sample", str(args.trace_sample)]
 
+    journal = None
+    if args.journal_dir is not None:
+        from repro.fleet.journal import RolloutJournal
+
+        journal = RolloutJournal(args.journal_dir)
+        if journal.current_artifact() is None:
+            # First boot: the starting model is the fleet's baseline.
+            journal.set_artifact(model_path, model.fingerprint())
+
     sup = ReplicaSupervisor(model_path, n_replicas=args.replicas,
-                            mode="process", extra_args=extra)
+                            mode="process", extra_args=extra,
+                            journal=journal)
     try:
         endpoints = sup.start()
+        if journal is not None:
+            from repro.fleet.journal import recover_fleet
+
+            summary = recover_fleet(endpoints, journal)
+            if summary["action"] != "noop":
+                print(f"journal recovery: {summary['action']} -> "
+                      f"{summary['target_fingerprint']} "
+                      f"(reloaded: {', '.join(summary['reloaded']) or 'none'})",
+                      flush=True)
         handle = router_in_thread(
             endpoints, host=args.host, port=args.port,
             shard=not args.no_shard, shard_model=model,
             vnodes=args.vnodes, quotas=quotas,
             allow_admin=True if args.allow_admin else None,
-            seed=args.seed,
+            seed=args.seed, journal=journal,
         )
         with handle:
             print(f"fleet router over {len(endpoints)} replicas "
@@ -453,13 +486,30 @@ def _run_fleet(argv: List[str]) -> int:
                   "fleet-status"
                   + (", reload (staged rollout), rollback, shutdown"
                      if handle.router.allow_admin else ""))
+            exit_code = 0
             try:
-                last_sweep = time.monotonic()
+                started = time.monotonic()
+                last_sweep = started
+                last_kill = started
+                kill_ids = sorted(r for r, _, _ in endpoints)
+                kill_idx = 0
                 while handle.thread.is_alive():
-                    time.sleep(0.5)
-                    if time.monotonic() - last_sweep < args.monitor_every:
+                    time.sleep(0.1)
+                    now = time.monotonic()
+                    if args.run_for is not None and now - started >= args.run_for:
+                        break
+                    if (args.chaos_kill is not None
+                            and now - last_kill >= args.chaos_kill):
+                        last_kill = now
+                        victim = kill_ids[kill_idx % len(kill_ids)]
+                        kill_idx += 1
+                        if sup.is_alive(victim):
+                            sup.kill(victim)
+                            print(f"chaos: killed replica {victim}",
+                                  flush=True)
+                    if now - last_sweep < args.monitor_every:
                         continue
-                    last_sweep = time.monotonic()
+                    last_sweep = now
                     for rid in sup.check_and_restart():
                         rhost, rport = next(
                             (h, p) for r, h, p in sup.endpoints() if r == rid
@@ -469,13 +519,65 @@ def _run_fleet(argv: List[str]) -> int:
                               f"-> {rhost}:{rport}", flush=True)
             except KeyboardInterrupt:  # pragma: no cover - interactive only
                 pass
+            if args.run_for is not None:
+                # Smoke-mode exit gate: after the chaos window the fleet
+                # must serve exactly one fingerprint on every replica
+                # that is up (a final sweep revives any recent victim).
+                for rid in sup.check_and_restart():
+                    rhost, rport = next(
+                        (h, p) for r, h, p in sup.endpoints() if r == rid
+                    )
+                    handle.set_endpoint(rid, rhost, rport)
+                from repro.fleet.journal import _probe_fingerprints
+
+                final = _probe_fingerprints(sup.endpoints(), timeout=5.0)
+                served = {fp for fp in final.values() if fp is not None}
+                print(f"final fingerprints: {final}", flush=True)
+                if not served or len(served) > 1 or None in final.values():
+                    exit_code = 1
     finally:
         sup.stop()
         if tmp is not None:
             import os
 
             os.unlink(tmp.name)
-    return 0
+    return exit_code
+
+
+def _run_fleet_recover(argv: List[str]) -> int:
+    import json
+
+    from repro.fleet.journal import RolloutJournal, recover_fleet
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet-recover",
+        description="Replay a rollout journal against a running fleet and "
+                    "drive every replica to a single model fingerprint "
+                    "(finish a committed rollout, roll back an uncommitted "
+                    "one, reconcile strays).",
+    )
+    parser.add_argument("--journal-dir", required=True, metavar="DIR",
+                        help="the fleet's --journal-dir")
+    parser.add_argument("--endpoints", required=True,
+                        metavar="ID=HOST:PORT[,...]",
+                        help="replica endpoints, e.g. "
+                             "r0=127.0.0.1:9001,r1=127.0.0.1:9002")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-replica probe/reload timeout (seconds)")
+    args = parser.parse_args(argv)
+
+    endpoints = []
+    for part in filter(None, (p.strip() for p in args.endpoints.split(","))):
+        rid, eq, addr = part.partition("=")
+        host, colon, port = addr.rpartition(":")
+        if not (eq and colon and rid and host and port.isdigit()):
+            parser.error(f"bad endpoint {part!r} (want ID=HOST:PORT)")
+        endpoints.append((rid, host, int(port)))
+
+    journal = RolloutJournal(args.journal_dir)
+    summary = recover_fleet(endpoints, journal, timeout=args.timeout)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["converged"] else 1
 
 
 def _run_fleet_bench(argv: List[str]) -> int:
@@ -829,6 +931,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fleet(argv[1:])
     if argv and argv[0] == "fleet-bench":
         return _run_fleet_bench(argv[1:])
+    if argv and argv[0] == "fleet-recover":
+        return _run_fleet_recover(argv[1:])
     if argv and argv[0] == "kernels-bench":
         return _run_kernels_bench(argv[1:])
     if argv and argv[0] == "obs-report":

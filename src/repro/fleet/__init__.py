@@ -12,6 +12,8 @@ quotas      per-tenant token-bucket quotas ahead of replica admission
 replica     ReplicaSupervisor: spawn/monitor/restart local replicas
 router      FleetRouter: p2c + sharded routing, probing, failover
 rollout     staged canary → percentage → fleet model promotion
+journal     crash-safe rollout WAL + restart recovery (fleet-recover)
+chaosproxy  deterministic TCP fault injection for partial-failure tests
 bench       scaling + zero-downtime-reload benchmark (fleet-bench)
 
 Quickstart::
@@ -30,22 +32,44 @@ or from the command line: ``python -m repro fleet --model model.json``.
 from __future__ import annotations
 
 from repro.fleet.bench import run_fleet_bench
+from repro.fleet.chaosproxy import (
+    ChaosPlan,
+    ChaosProxy,
+    ChaosProxyHandle,
+    chaos_proxy_in_thread,
+)
 from repro.fleet.hashring import ConsistentHashRing
+from repro.fleet.journal import (
+    JournalError,
+    RolloutJournal,
+    plan_recovery,
+    reconcile_replica,
+    recover_fleet,
+)
 from repro.fleet.quotas import TenantQuotaPolicy, TenantQuotas
 from repro.fleet.replica import ReplicaSupervisor
 from repro.fleet.rollout import RolloutConfig, RolloutError, RolloutManager
 from repro.fleet.router import FleetRouter, RouterHandle, router_in_thread
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosProxy",
+    "ChaosProxyHandle",
     "ConsistentHashRing",
     "FleetRouter",
+    "JournalError",
     "ReplicaSupervisor",
     "RolloutConfig",
     "RolloutError",
+    "RolloutJournal",
     "RolloutManager",
     "RouterHandle",
     "TenantQuotaPolicy",
     "TenantQuotas",
+    "chaos_proxy_in_thread",
+    "plan_recovery",
+    "reconcile_replica",
+    "recover_fleet",
     "router_in_thread",
     "run_fleet_bench",
 ]

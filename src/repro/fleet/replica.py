@@ -21,6 +21,17 @@ Two modes:
 Every replica gets a stable id (``r0``, ``r1``, ...) that survives
 restarts — the consistent-hash ring hashes ids, so a restarted replica
 (new port, cold cache) takes back exactly its old shard.
+
+With a :class:`~repro.fleet.journal.RolloutJournal` attached the
+supervisor is *version-aware*: a restarted replica boots from the
+journal's current artifact (not the original ``--model`` path, which may
+be rollouts behind), is probed, reloaded if its fingerprint strays, and
+fingerprint-verified **before** the caller learns its endpoint — a
+replica that cannot be driven to the fleet's artifact is torn back down
+rather than readmitted serving stale labels. Crash-looping replicas get
+exponential restart backoff and, past ``quarantine_after`` consecutive
+fast crashes, a quarantine (``fleet_replica_quarantined`` gauge) instead
+of a hot restart loop.
 """
 
 from __future__ import annotations
@@ -32,9 +43,10 @@ import sys
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServeError, ValidationError
+from repro.obs import default_registry
 from repro.serve.client import probe
 
 __all__ = ["ReplicaSupervisor"]
@@ -57,6 +69,12 @@ class _Replica:
         self.tail: deque = deque(maxlen=50)  # last stdout lines (diagnostics)
         self.port_event = threading.Event()
         self.restarts = 0
+        self.failed_starts = 0
+        # Crash-loop containment (driven by check_and_restart).
+        self.last_start_at = 0.0   # supervisor clock at last successful start
+        self.not_before = 0.0      # backoff: no restart attempt before this
+        self.crash_streak = 0      # consecutive deaths within stable_s
+        self.quarantined = False
 
 
 class ReplicaSupervisor:
@@ -86,6 +104,23 @@ class ReplicaSupervisor:
         load from ``model_path``).
     startup_timeout:
         Seconds to wait for a replica to announce its port / bind.
+    journal:
+        Optional :class:`~repro.fleet.journal.RolloutJournal`. When set,
+        restarted replicas boot from (and are fingerprint-verified
+        against) the journal's current ``artifact`` record — the fleet's
+        source of truth — instead of the construction-time model path.
+    restart_backoff_s, restart_backoff_max_s:
+        Exponential backoff between restart attempts of a crash-looping
+        replica (base doubles per consecutive fast crash, capped).
+    quarantine_after:
+        Consecutive fast crashes (death within ``stable_s`` of start)
+        after which the replica is quarantined: no further automatic
+        restarts until :meth:`unquarantine`.
+    stable_s:
+        A replica that stays up at least this long resets its crash
+        streak — the next death is treated as fresh, not a loop.
+    clock:
+        Injectable monotonic clock (deterministic backoff tests).
     """
 
     def __init__(
@@ -98,6 +133,12 @@ class ReplicaSupervisor:
         admission=None,
         model=None,
         startup_timeout: float = 30.0,
+        journal=None,
+        restart_backoff_s: float = 0.5,
+        restart_backoff_max_s: float = 30.0,
+        quarantine_after: int = 5,
+        stable_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if mode not in ("process", "thread"):
             raise ValidationError("mode must be 'process' or 'thread'")
@@ -107,6 +148,11 @@ class ReplicaSupervisor:
             raise ValidationError("process mode needs model_path")
         if mode == "thread" and model_path is None and model is None:
             raise ValidationError("thread mode needs model_path or model")
+        if restart_backoff_s < 0 or restart_backoff_max_s < restart_backoff_s:
+            raise ValidationError(
+                "restart backoff must be >= 0 and max >= base")
+        if quarantine_after < 1:
+            raise ValidationError("quarantine_after must be >= 1")
         self.model_path = None if model_path is None else str(model_path)
         self.mode = mode
         self.host = host
@@ -114,9 +160,30 @@ class ReplicaSupervisor:
         self.admission = admission
         self._model = model
         self.startup_timeout = float(startup_timeout)
+        self.journal = journal
+        self.restart_backoff_s = float(restart_backoff_s)
+        self.restart_backoff_max_s = float(restart_backoff_max_s)
+        self.quarantine_after = int(quarantine_after)
+        self.stable_s = float(stable_s)
+        self._clock = clock
         self._replicas: Dict[str, _Replica] = {
             f"r{i}": _Replica(f"r{i}") for i in range(n_replicas)
         }
+        reg = default_registry()
+        self._m_restarts = reg.counter(
+            "fleet_replica_restarts_total",
+            "Replica restart attempts by the supervisor, by replica and "
+            "outcome (ok / start_failed / reconcile_failed).",
+            ("replica", "outcome"),
+        )
+        self._m_quarantined = reg.gauge(
+            "fleet_replica_quarantined",
+            "1 while the replica is quarantined after crash-looping "
+            "(no automatic restarts), else 0.",
+            ("replica",),
+        )
+        for rid in self._replicas:
+            self._m_quarantined.labels(replica=rid).set(0)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -142,12 +209,25 @@ class ReplicaSupervisor:
         return rep.handle is not None and rep.handle.thread.is_alive()
 
     def kill(self, replica_id: str) -> None:
-        """Stop one replica abruptly (SIGKILL in process mode)."""
+        """Stop one replica abruptly (SIGKILL in process mode).
+
+        ``proc.wait`` can time out even after SIGKILL (the child wedged
+        in uninterruptible IO); that must not propagate out of teardown
+        and leak the remaining replicas — escalate to a second
+        kill/wait and give up quietly if the kernel still won't reap it.
+        """
         rep = self._get(replica_id)
         if self.mode == "process":
             if rep.proc is not None and rep.proc.poll() is None:
                 rep.proc.kill()
-                rep.proc.wait(timeout=10)
+                try:
+                    rep.proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    rep.proc.kill()
+                    try:
+                        rep.proc.wait(timeout=10)
+                    except subprocess.TimeoutExpired:  # pragma: no cover
+                        pass  # unreapable (D-state); poll() keeps watching
         elif rep.handle is not None:
             rep.handle.stop()
             rep.handle = None
@@ -157,34 +237,109 @@ class ReplicaSupervisor:
 
         The replica id — and therefore its shard on the ring — is
         preserved; callers must tell the router about the new endpoint.
+        The old endpoint is forgotten *before* the start attempt: a
+        failed start must not leave :meth:`endpoints` advertising the
+        dead port. With a journal attached, the restarted replica is
+        reconciled to the journal's current artifact (probe → reload if
+        strayed → fingerprint verify) before this returns — on a
+        reconcile failure the replica is torn down and the error raised,
+        so a stale replica is never announced to the router.
         """
         rep = self._get(replica_id)
         self.kill(replica_id)
-        self._start_one(rep)
+        rep.port = None  # never advertise the dead endpoint
+        try:
+            self._start_one(rep)
+        except Exception:
+            rep.failed_starts += 1
+            self._m_restarts.labels(replica=replica_id,
+                                    outcome="start_failed").inc()
+            raise
         rep.restarts += 1
+        try:
+            self._reconcile(rep)
+        except ServeError:
+            self._m_restarts.labels(replica=replica_id,
+                                    outcome="reconcile_failed").inc()
+            self.kill(replica_id)
+            rep.port = None
+            raise
+        self._m_restarts.labels(replica=replica_id, outcome="ok").inc()
         return rep.host, rep.port
 
+    def _reconcile(self, rep: _Replica) -> None:
+        """Drive a freshly started replica to the journal's artifact."""
+        if self.journal is None:
+            return
+        artifact = self.journal.current_artifact()
+        if artifact is None:
+            return
+        from repro.fleet.journal import reconcile_replica
+
+        reconcile_replica(
+            rep.host, rep.port, artifact["path"], artifact.get("fingerprint"),
+            timeout=self.startup_timeout,
+        )
+
     def check_and_restart(self) -> List[str]:
-        """Restart every dead replica; returns the restarted ids.
+        """Restart dead replicas (with backoff); returns the restarted ids.
 
         The monitor loop in ``python -m repro fleet`` calls this
         periodically so a crashed replica rejoins the fleet without
-        operator action.
+        operator action. A replica that keeps dying within ``stable_s``
+        of its start backs off exponentially between attempts and is
+        quarantined after ``quarantine_after`` consecutive fast crashes —
+        a crash loop must not become a hot spawn loop. Start or
+        reconcile failures are contained here (counted, backed off),
+        never propagated into the monitor.
         """
         restarted = []
+        now = self._clock()
         for rid in list(self._replicas):
-            if not self.is_alive(rid):
+            rep = self._replicas[rid]
+            if self.is_alive(rid) or rep.quarantined:
+                continue
+            if now < rep.not_before:
+                continue
+            uptime = now - rep.last_start_at
+            rep.crash_streak = (
+                rep.crash_streak + 1 if uptime < self.stable_s else 1
+            )
+            if rep.crash_streak > self.quarantine_after:
+                rep.quarantined = True
+                self._m_quarantined.labels(replica=rid).set(1)
+                continue
+            rep.not_before = now + min(
+                self.restart_backoff_max_s,
+                self.restart_backoff_s * (2.0 ** (rep.crash_streak - 1)),
+            )
+            try:
                 self.restart(rid)
-                restarted.append(rid)
+            except ServeError:
+                continue  # counted by restart(); retried after backoff
+            restarted.append(rid)
         return restarted
+
+    def quarantined(self) -> List[str]:
+        """Replica ids currently quarantined (no automatic restarts)."""
+        return sorted(r for r, rep in self._replicas.items()
+                      if rep.quarantined)
+
+    def unquarantine(self, replica_id: str) -> None:
+        """Clear a quarantine so ``check_and_restart`` tries again."""
+        rep = self._get(replica_id)
+        rep.quarantined = False
+        rep.crash_streak = 0
+        rep.not_before = 0.0
+        self._m_quarantined.labels(replica=replica_id).set(0)
 
     def stop(self) -> None:
         """Stop every replica (graceful in thread mode, SIGKILL process)."""
         for rid in list(self._replicas):
             try:
                 self.kill(rid)
-            except ServeError:  # pragma: no cover - best-effort teardown
-                pass
+            except (ServeError, subprocess.TimeoutExpired):
+                pass  # pragma: no cover - best-effort teardown
 
     def __enter__(self) -> "ReplicaSupervisor":
         return self
@@ -209,6 +364,21 @@ class ReplicaSupervisor:
             self._start_thread(rep)
         else:
             self._start_process(rep)
+        rep.last_start_at = self._clock()
+
+    def _boot_model_path(self) -> Optional[str]:
+        """The artifact a (re)started replica should serve.
+
+        The journal's current ``artifact`` record wins over the
+        construction-time path: after a completed rollout the original
+        ``--model`` file is stale, and booting from it would rejoin the
+        fleet split-brain.
+        """
+        if self.journal is not None:
+            artifact = self.journal.current_artifact()
+            if artifact is not None and artifact.get("path"):
+                return str(artifact["path"])
+        return self.model_path
 
     def _start_thread(self, rep: _Replica) -> None:
         from repro.core.model import KeyBin2Model
@@ -230,7 +400,7 @@ class ReplicaSupervisor:
         # pipe would hold that line back past the startup timeout.
         cmd = [
             sys.executable, "-u", "-m", "repro", "serve",
-            "--model", self.model_path,
+            "--model", self._boot_model_path(),
             "--host", self.host, "--port", "0",
             *self.extra_args,
         ]

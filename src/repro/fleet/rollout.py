@@ -103,9 +103,11 @@ class RolloutManager:
     admin lock, so at most one rollout runs at a time.
     """
 
-    def __init__(self, router, config: Optional[RolloutConfig] = None):
+    def __init__(self, router, config: Optional[RolloutConfig] = None,
+                 journal=None):
         self.router = router
         self.config = config if config is not None else RolloutConfig()
+        self.journal = journal
         self.state = "idle"
         self.history: List[Dict[str, Any]] = []
         self._trace_parent = None  # rollout/run span while a rollout is live
@@ -122,17 +124,39 @@ class RolloutManager:
             ("outcome",),
         )
 
+    def _append_history(self, entry: Dict[str, Any]) -> None:
+        """The one place history grows — every append is trim-bounded.
+
+        ``rollback_failed`` entries used to bypass the trim by appending
+        directly, so a long-lived router with a flapping replica grew
+        without bound.
+        """
+        self.history.append(entry)
+        del self.history[:-50]  # bounded memory on long-lived routers
+
     def _set_state(self, state: str, **detail: Any) -> None:
         self.state = state
         self._m_state.set(ROLLOUT_STATES.index(state))
-        self.history.append({"at": time.time(), "state": state, **detail})
-        del self.history[:-50]  # bounded memory on long-lived routers
+        self._append_history({"at": time.time(), "state": state, **detail})
         # Stage transitions are rare and operationally load-bearing, so
         # they export as always-sampled trace events linked under the
         # rollout/run span (one trace per rollout in obs-trace output).
         get_tracer().event(
             f"rollout/{state}", parent=self._trace_parent, attrs=detail
         )
+
+    def _journal(self, type_: str, **fields: Any) -> None:
+        """Write-ahead journal append (no-op without a journal).
+
+        Called *before* the action the record describes; a failed append
+        (:class:`~repro.fleet.journal.JournalError`, a ``ServeError``)
+        aborts the rollout — acting without a durable record would make
+        a later crash unrecoverable. Synchronous fsync'd IO on the event
+        loop is fine here: a rollout is a handful of control-plane
+        records, not a request-path write.
+        """
+        if self.journal is not None:
+            self.journal.append(type_, **fields)
 
     # -- the rollout ---------------------------------------------------------
 
@@ -163,22 +187,32 @@ class RolloutManager:
         baseline = await self._model_info(canary)
         old_features = int(baseline.get("n_features") or 0)
 
+        # Write-ahead: the intent lands on disk before any replica is
+        # touched, so a crash from here on leaves a journal that names
+        # the artifact being rolled out.
+        self._journal("intent", path=path, tag=tag)
         self._set_state("canary", replica=canary.id, path=path)
+        self._journal("canary", replica=canary.id)
         promoted: List[Tuple[Any, int]] = []  # (state, new version) per replica
         try:
             version = await self._reload_one(canary, path, tag)
         except RolloutError as exc:
             # Canary never promoted — nothing to roll back.
+            self._journal("rolled_back", reason="canary_reload_failed")
             self._finish("rolled_back", "canary_rejected", error=str(exc))
             raise
         promoted.append((canary, version))
         new_info = await self._model_info(canary)
         new_fp = new_info.get("fingerprint")
+        self._journal("canary_promoted", replica=canary.id, version=version,
+                      fingerprint=new_fp)
 
         errors, attempts = await self._bake(canary, old_features)
         error_rate = errors / attempts if attempts else 0.0
         if error_rate > self.config.max_error_rate:
             await self._rollback_all(promoted)
+            self._journal("rolled_back", reason="canary_rejected",
+                          error_rate=round(error_rate, 4))
             self._finish(
                 "rolled_back", "canary_rejected",
                 error_rate=round(error_rate, 4), probes=attempts,
@@ -190,6 +224,11 @@ class RolloutManager:
             )
 
         self._set_state("staged", fingerprint=new_fp)
+        # COMMIT POINT: the canary baked clean, so the new artifact is
+        # known good. A recovery pass that finds this record rolls the
+        # fleet *forward* to new_fp; without it, back to the baseline.
+        self._journal("staged", fingerprint=new_fp,
+                      error_rate=round(error_rate, 4), probes=attempts)
         total = len(fleet)
         next_replica = 0
         try:
@@ -198,6 +237,7 @@ class RolloutManager:
                 while len(promoted) < target and next_replica < len(rest):
                     state = rest[next_replica]
                     next_replica += 1
+                    self._journal("promote", replica=state.id)
                     version = await self._reload_one(state, path, tag)
                     info = await self._model_info(state)
                     if info.get("fingerprint") != new_fp:
@@ -211,10 +251,20 @@ class RolloutManager:
                     await asyncio.sleep(self.config.settle_s)
         except RolloutError as exc:
             await self._rollback_all(promoted)
+            self._journal("rolled_back", reason="stage_aborted",
+                          error=str(exc))
             self._finish("rolled_back", "aborted", error=str(exc))
             raise RolloutError(f"rollout aborted, fleet rolled back: {exc}") from exc
 
         await self._refresh_shard_model(path)
+        # New source of truth first, then the terminal record: a crash
+        # between the two leaves an open rollout whose artifact already
+        # points at new_fp, and recovery completes it as a no-op.
+        if self.journal is not None:
+            self.journal.set_artifact(
+                path, new_fp, version=max(v for _, v in promoted)
+            )
+        self._journal("complete", fingerprint=new_fp)
         self._finish("complete", "complete", fingerprint=new_fp,
                      replicas=len(promoted))
         return {
@@ -302,7 +352,7 @@ class RolloutManager:
             except (ConnectionLostError, ValueError):
                 # Replica unreachable mid-abort: the health loop will
                 # eject it; record and keep rolling the others back.
-                self.history.append({
+                self._append_history({
                     "at": time.time(), "state": "rollback_failed",
                     "replica": state.id,
                 })

@@ -65,6 +65,7 @@ from repro.fleet.quotas import TenantQuotas
 from repro.obs import default_registry, render_json, render_prometheus
 from repro.obs.registry import MetricsRegistry
 from repro.obs.reqtrace import NOOP_SPAN, get_tracer, inject
+from repro.serve.admission import RetryBudget
 from repro.serve.client import PROBE_TIMEOUT_S, async_probe
 
 __all__ = ["FleetRouter", "RouterHandle", "router_in_thread"]
@@ -236,6 +237,19 @@ class FleetRouter:
         rotation; consecutive probe successes before it returns.
     max_failovers:
         Transport-failure retries per predict (distinct replicas).
+    retry_budget_ratio, retry_budget_min, retry_budget_window_s:
+        Fleet-wide windowed retry budget
+        (:class:`~repro.serve.admission.RetryBudget`): failover retries
+        across *all* requests may not exceed ``max(min, ratio ×
+        windowed request rate)``. During a partition the router sheds
+        ('unavailable', retryable) instead of multiplying every failed
+        request by ``max_failovers`` — retries must never become the
+        majority of fleet traffic.
+    journal:
+        Optional :class:`~repro.fleet.journal.RolloutJournal`. When set,
+        the rollout engine write-ahead journals every transition and the
+        journal's recorded artifact becomes the fleet's source of truth
+        for crash recovery (see :mod:`repro.fleet.journal`).
     """
 
     _LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
@@ -256,11 +270,15 @@ class FleetRouter:
         eject_after: int = 2,
         readmit_after: int = 2,
         max_failovers: int = 2,
+        retry_budget_ratio: float = 0.2,
+        retry_budget_min: int = 3,
+        retry_budget_window_s: float = 10.0,
         spill_factor: float = 1.25,
         spill_min_headroom: int = 4,
         pool_size: int = 16,
         forward_timeout_s: float = 30.0,
         rollout_config=None,
+        journal=None,
         registry: Optional[MetricsRegistry] = None,
         seed: int = 0,
     ):
@@ -295,6 +313,11 @@ class FleetRouter:
         self.eject_after = int(eject_after)
         self.readmit_after = int(readmit_after)
         self.max_failovers = int(max_failovers)
+        self.retry_budget = RetryBudget(
+            ratio=retry_budget_ratio,
+            min_retries=retry_budget_min,
+            window_s=retry_budget_window_s,
+        )
         self.spill_factor = float(spill_factor)
         self.spill_min_headroom = int(spill_min_headroom)
         self.forward_timeout_s = float(forward_timeout_s)
@@ -307,8 +330,11 @@ class FleetRouter:
         # Rollout engine (lazy import to avoid a module cycle).
         from repro.fleet.rollout import RolloutConfig, RolloutManager
 
+        self.journal = journal
         self.rollout = RolloutManager(
-            self, rollout_config if rollout_config is not None else RolloutConfig()
+            self,
+            rollout_config if rollout_config is not None else RolloutConfig(),
+            journal=journal,
         )
         self._sample_rows: deque = deque(maxlen=64)
         self._sample_tick = 0
@@ -341,6 +367,12 @@ class FleetRouter:
             "fleet_unroutable_total",
             "Requests answered 'unavailable' because no healthy replica "
             "remained (after failover attempts).",
+        )
+        self._m_retry_exhausted = reg.counter(
+            "fleet_retry_budget_exhausted_total",
+            "Failover retries refused because the fleet-wide windowed "
+            "retry budget was spent; the request was answered "
+            "'unavailable' instead of amplifying the partition.",
         )
         self._m_tenant_shed = reg.counter(
             "fleet_tenant_shed_total",
@@ -699,9 +731,23 @@ class FleetRouter:
             tracer.from_wire(request, "router/route")
             if request is not None else NOOP_SPAN
         )
+        self.retry_budget.note_request()
         tried: List[str] = []
         with route_span:
-            for _ in range(self.max_failovers + 1):
+            for attempt in range(self.max_failovers + 1):
+                # The first attempt is free — the budget only prices
+                # *retries*, so steady-state traffic is never gated. A
+                # refused retry sheds the request as retryable
+                # 'unavailable': during a partition the fleet answers a
+                # bounded trickle of fast errors instead of multiplying
+                # every failure by max_failovers.
+                if attempt and not self.retry_budget.try_spend():
+                    self._m_retry_exhausted.inc()
+                    route_span.set_status("retry_budget_exhausted")
+                    return self._error_bytes(
+                        "failover retry budget exhausted",
+                        err="unavailable", retryable=True,
+                    )
                 state = self._pick(key, tried)
                 if state is None:
                     break
@@ -947,6 +993,7 @@ class FleetRouter:
                 "spills": spills,
             },
             "unroutable": int(self._m_unroutable.value),
+            "retry_budget": self.retry_budget.snapshot(),
             "rollout": self.rollout.state,
             "tenant_sheds": self.quotas.shed_counts(),
         }

@@ -192,8 +192,8 @@ def ensure_core_series(registry: MetricsRegistry = None) -> MetricsRegistry:
     reg.counter(
         "serve_client_retries_total",
         "Idempotent serve-client requests retried after a connection "
-        "failure, by operation.",
-        ("op",),
+        "failure, by operation and failure kind.",
+        ("op", "reason"),
     )
     reg.counter(
         "kernel_launches_total",

@@ -267,6 +267,39 @@ def fleet_table(reg: MetricsRegistry) -> str:
     if rollouts:
         detail = "  ".join(f"{k}={v}" for k, v in sorted(rollouts.items()))
         lines.append(f"  rollouts: {detail}")
+    # Self-healing plane: supervisor restarts, quarantines, journal
+    # recoveries, and the retry budget's shed count. Restart/recovery
+    # series live on the process-default registry (supervisor/journal are
+    # not router-scoped); callers pass default_registry() to see them.
+    restarts: Dict[str, int] = {}
+    for s in _family_values(reg, "fleet_replica_restarts_total"):
+        if s["value"]:
+            outcome = s["labels"]["outcome"]
+            restarts[outcome] = restarts.get(outcome, 0) + int(s["value"])
+    if restarts:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(restarts.items()))
+        lines.append(f"  replica restarts: {detail}")
+    quarantined = sorted(
+        s["labels"]["replica"]
+        for s in _family_values(reg, "fleet_replica_quarantined")
+        if s["value"]
+    )
+    if quarantined:
+        lines.append(f"  quarantined (crash-looping): {', '.join(quarantined)}")
+    recoveries = {
+        s["labels"]["action"]: int(s["value"])
+        for s in _family_values(reg, "fleet_recoveries_total")
+        if s["value"]
+    }
+    if recoveries:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(recoveries.items()))
+        lines.append(f"  journal recoveries: {detail}")
+    budget_shed = sum(
+        int(s["value"])
+        for s in _family_values(reg, "fleet_retry_budget_exhausted_total")
+    )
+    if budget_shed:
+        lines.append(f"  retry-budget sheds: {budget_shed:,}")
     return "\n".join(lines)
 
 

@@ -40,6 +40,7 @@ __all__ = [
     "AdmissionPolicy",
     "AdmissionController",
     "CircuitBreaker",
+    "RetryBudget",
     "resolve_deadline",
 ]
 
@@ -283,6 +284,100 @@ class CircuitBreaker:
         if self.stats is not None:
             code = {"closed": 0, "half_open": 1, "open": 2}[self._state]
             self.stats.set_circuit_state(code)
+
+
+class RetryBudget:
+    """Windowed retry budget: retries may cost at most a fraction of load.
+
+    During a partition every failed request turns into ``max_failovers``
+    router retries plus the client's own retry loop — the classic retry
+    storm, where the *recovery* traffic is what keeps the fleet down. The
+    budget caps aggregate retries at ``ratio`` × the windowed request
+    rate (plus a small ``min_retries`` floor so a single failure on an
+    idle fleet can still retry). Beyond that, callers shed instead of
+    amplifying.
+
+    Accounting uses two fixed buckets of ``window_s`` each: the current
+    bucket fills, the previous one decays linearly as the window slides —
+    constant memory, no timestamp deque, same shape Envoy's retry budget
+    uses. Thread-safe; ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        ratio: float = 0.2,
+        min_retries: int = 3,
+        window_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not (0 <= ratio <= 1):
+            raise ValidationError("retry budget ratio must be in [0, 1]")
+        if min_retries < 0:
+            raise ValidationError("retry budget min_retries must be >= 0")
+        if window_s <= 0:
+            raise ValidationError("retry budget window_s must be > 0")
+        self.ratio = float(ratio)
+        self.min_retries = int(min_retries)
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._epoch = clock()
+        self._requests = [0.0, 0.0]   # [previous bucket, current bucket]
+        self._retries = [0.0, 0.0]
+        self.exhausted = 0
+
+    def _roll(self, now: float) -> float:
+        # Called under the lock. Returns the current bucket's fill
+        # fraction; slides buckets forward as whole windows elapse.
+        elapsed = now - self._epoch
+        while elapsed >= self.window_s:
+            self._requests = [self._requests[1], 0.0]
+            self._retries = [self._retries[1], 0.0]
+            self._epoch += self.window_s
+            elapsed -= self.window_s
+            if elapsed >= self.window_s:
+                # More than two whole windows elapsed: nothing the
+                # buckets held is still inside the sliding window.
+                self._requests = [0.0, 0.0]
+                self._retries = [0.0, 0.0]
+                self._epoch = now
+                elapsed = 0.0
+        return elapsed / self.window_s
+
+    def _windowed(self, buckets, frac: float) -> float:
+        # Previous bucket decays as the current one fills: a smooth
+        # sliding-window estimate from two counters.
+        return buckets[0] * (1.0 - frac) + buckets[1]
+
+    def note_request(self, n: int = 1) -> None:
+        """Count ``n`` first-attempt requests toward the window."""
+        with self._lock:
+            self._roll(self._clock())
+            self._requests[1] += n
+
+    def try_spend(self) -> bool:
+        """Reserve one retry; ``False`` means shed instead of retrying."""
+        with self._lock:
+            frac = self._roll(self._clock())
+            retries = self._windowed(self._retries, frac)
+            allowed = max(
+                float(self.min_retries),
+                self.ratio * self._windowed(self._requests, frac),
+            )
+            if retries >= allowed:
+                self.exhausted += 1
+                return False
+            self._retries[1] += 1
+            return True
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            frac = self._roll(self._clock())
+            return {
+                "requests": round(self._windowed(self._requests, frac), 2),
+                "retries": round(self._windowed(self._retries, frac), 2),
+                "exhausted": self.exhausted,
+            }
 
 
 def resolve_deadline(

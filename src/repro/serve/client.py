@@ -145,12 +145,21 @@ class ServeClient:
     counted in the obs registry
     (``serve_client_retries_total{op,reason}``), with timeouts and resets
     under distinct ``reason`` values.
+
+    ``retry_budget`` optionally shares a
+    :class:`~repro.serve.admission.RetryBudget` across clients: when a
+    process runs many clients (the load generator, a batch worker pool),
+    per-client retry loops multiply during an outage exactly like router
+    failovers do. A budgeted client counts each first attempt and asks
+    the budget before every retry; a refused retry re-raises the
+    connection error immediately instead of piling on.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
                  timeout: float = 30.0, retries: int = 0,
                  backoff: float = 0.05, backoff_max: float = 2.0,
-                 jitter: float = 0.25, retry_seed: Optional[int] = None):
+                 jitter: float = 0.25, retry_seed: Optional[int] = None,
+                 retry_budget=None):
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -158,6 +167,7 @@ class ServeClient:
         self.backoff = float(backoff)
         self.backoff_max = float(backoff_max)
         self.jitter = float(jitter)
+        self.retry_budget = retry_budget
         if self.retries < 0 or self.backoff < 0 or not 0 <= self.jitter < 1:
             raise ServeError(
                 "retries/backoff must be >= 0 and jitter in [0, 1)"
@@ -231,11 +241,19 @@ class ServeClient:
     def _with_retries(self, op: str, call: Any) -> Any:
         """Run ``call`` with up to ``self.retries`` reconnect-and-retry."""
         attempt = 0
+        if self.retry_budget is not None:
+            self.retry_budget.note_request()
         while True:
             try:
                 return call()
             except _ConnectionLost as exc:
                 if attempt >= self.retries:
+                    raise
+                if (self.retry_budget is not None
+                        and not self.retry_budget.try_spend()):
+                    # Budget spent: fail fast with the original error —
+                    # during an outage the recovery traffic must not
+                    # become the thing keeping the server down.
                     raise
                 self._backoff_sleep(attempt)
                 attempt += 1
