@@ -1,0 +1,331 @@
+"""Adaptive binning ranges: the dyadic widening chain (open-world streams).
+
+Fixed-range binning assumes a known, stationary ``[r_min, r_max]`` per
+projected dimension — the main blocker for open-world streams
+(ROADMAP "Adaptive streaming bins + drift handling"). This module supplies
+the range-widening machinery :class:`~repro.core.streaming.StreamingKeyBin2`
+uses in ``adaptive=True`` mode, built around one invariant: **every widened
+grid must rebin the old histogram exactly** — each old bin maps onto
+exactly one new bin, so rebinning is an integer scatter-add that conserves
+total mass bit-for-bit and keeps the delta-merge protocol in
+``tests/insitu/`` exact.
+
+The widening chain
+------------------
+
+Arbitrary per-rank range growth would break two properties the distributed
+pipeline depends on:
+
+* **alignment** — an old bin must never straddle a new bin boundary, or
+  rebinning needs fractional mass splitting (inexact, order-dependent);
+* **mergeability** — two ranks that widened differently must be able to
+  agree on a common grid that both can rebin onto exactly, and the
+  agreement must be *associative* (independent of consolidation cadence).
+
+Both hold when grids are restricted to a single totally-ordered chain,
+one grid per *level* ``g``, derived from the base range
+``[base_min, base_max]`` (span ``s``) by alternately doubling downward and
+upward::
+
+    level 0:  [base_min,          base_max        ]   span s
+    level 1:  [base_min -  1·s,   base_max        ]   span 2·s
+    level 2:  [base_min -  1·s,   base_max +  2·s ]   span 4·s
+    level 3:  [base_min -  5·s,   base_max +  2·s ]   span 8·s
+    ...
+
+Step ``k`` (1-indexed) extends the span by ``2^(k-1)·s`` — downward when
+``k`` is odd, upward when ``k`` is even — so level ``g`` spans exactly
+``2^g·s`` and its bottom/top extensions are the data-independent integers
+``B(g)``/``T(g)`` of :func:`chain_extents`. Because the chain is totally
+ordered, merging two ranks' grids is ``max(level)`` per dimension —
+trivially associative, so the final grid is a pure function of the pooled
+observed range, not of when consolidations happened.
+
+Rebin exactness
+---------------
+
+At depth ``d`` (``2^d`` bins per dimension), old level ``g`` and new level
+``g' >= g``: the new bin width is ``2^(g'-g)`` old widths, and the old
+origin sits ``(B(g') - B(g))·s`` above the new origin — an offset whose
+every term ``2^(k-1)·s`` (odd ``k`` in ``(g, g']``) is a multiple of
+``2^g·s``, i.e. of whole old-*grid* spans and hence of old bin widths. Old
+bin boundaries therefore align with new bin boundaries, and old bin ``i``
+falls entirely inside new bin
+
+    ``i' = (i·2^g + (B(g') - B(g))·2^d) >> g'``
+
+— pure int64 arithmetic (:func:`rebin_maps`), no floats anywhere.
+
+:class:`TailSketch` is a small Ben-Haim/Tom-Tov merge-closest-bins sketch
+(histogrammar's ``AdaptivelyBin`` lineage) each projection state feeds
+with per-batch extremes; it summarizes the observed tails so the optional
+``anticipate`` mode can widen past the minimal cover when a tail is still
+growing (fewer rebins on fast-expanding streams, at the price of a grid
+that is no longer a pure function of the pooled range — off by default).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "MAX_LEVEL",
+    "chain_extents",
+    "grid_bounds",
+    "cover_levels",
+    "rebin_maps",
+    "TailSketch",
+]
+
+#: Widening-level cap. Level ``g`` multiplies the base span by ``2^g``:
+#: 48 doublings cover ~14 decimal orders of magnitude of range growth —
+#: anything past that is a data bug, not drift — while keeping every
+#: integer in the rebin map (``<= 2^(MAX_LEVEL + 8)``) safely inside int64.
+MAX_LEVEL = 48
+
+# B(g)/T(g): bottom/top extension of level g, in base-span units.
+# Step k adds 2^(k-1) — downward (B) when k is odd, upward (T) when even.
+_B_TABLE = np.zeros(MAX_LEVEL + 1, dtype=np.int64)
+_T_TABLE = np.zeros(MAX_LEVEL + 1, dtype=np.int64)
+for _k in range(1, MAX_LEVEL + 1):
+    _B_TABLE[_k] = _B_TABLE[_k - 1] + ((1 << (_k - 1)) if _k % 2 else 0)
+    _T_TABLE[_k] = _T_TABLE[_k - 1] + (0 if _k % 2 else (1 << (_k - 1)))
+del _k
+
+
+def _as_levels(levels: np.ndarray) -> np.ndarray:
+    levels = np.asarray(levels, dtype=np.int64).ravel()
+    if levels.size and (levels.min() < 0 or levels.max() > MAX_LEVEL):
+        raise ValidationError(
+            f"widening levels must lie in [0, {MAX_LEVEL}], got range "
+            f"[{levels.min()}, {levels.max()}]"
+        )
+    return levels
+
+
+def chain_extents(levels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(B, T)`` extensions of each level, in base-span units.
+
+    ``B + T + 1 == 2^level`` by construction: level ``g`` spans ``2^g``
+    base spans, one of which is the base itself.
+    """
+    levels = _as_levels(levels)
+    return _B_TABLE[levels], _T_TABLE[levels]
+
+
+def grid_bounds(
+    base_min: np.ndarray, base_max: np.ndarray, levels: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Float bounds ``[r_min(g), r_max(g)]`` of the level-``g`` chain grid.
+
+    Every rank computes these with the identical float expression
+    ``base ∓ extent·span``, so ranks that agree on levels agree on bounds
+    bit-for-bit — the property distributed grid agreement rests on.
+    """
+    base_min = np.asarray(base_min, dtype=np.float64).ravel()
+    base_max = np.asarray(base_max, dtype=np.float64).ravel()
+    bottom, top = chain_extents(levels)
+    if base_min.shape != base_max.shape or base_min.shape != bottom.shape:
+        raise ValidationError("base bounds and levels must have equal length")
+    span = base_max - base_min
+    r_min = base_min - bottom.astype(np.float64) * span
+    r_max = base_max + top.astype(np.float64) * span
+    if not (np.all(np.isfinite(r_min)) and np.all(np.isfinite(r_max))):
+        raise ValidationError(
+            "chain grid bounds overflowed float64; the widening level cap "
+            "should make this unreachable for sane base ranges"
+        )
+    return r_min, r_max
+
+
+def cover_levels(
+    base_min: np.ndarray,
+    base_max: np.ndarray,
+    need_lo: np.ndarray,
+    need_hi: np.ndarray,
+    start: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Minimal chain level covering ``[need_lo, need_hi]`` per dimension.
+
+    Returns the smallest ``g >= start`` with ``r_min(g) <= need_lo`` and
+    ``r_max(g) >= need_hi``. Deterministic float comparisons only, so every
+    rank maps the same pooled need to the same levels. Raises when even
+    :data:`MAX_LEVEL` cannot cover the need (range grew ~2^48-fold —
+    report the data problem instead of silently saturating).
+    """
+    base_min = np.asarray(base_min, dtype=np.float64).ravel()
+    base_max = np.asarray(base_max, dtype=np.float64).ravel()
+    need_lo = np.asarray(need_lo, dtype=np.float64).ravel()
+    need_hi = np.asarray(need_hi, dtype=np.float64).ravel()
+    n = base_min.shape[0]
+    levels = (
+        np.zeros(n, dtype=np.int64) if start is None
+        else _as_levels(start).copy()
+    )
+    if not (np.all(np.isfinite(need_lo)) and np.all(np.isfinite(need_hi))):
+        raise ValidationError("cover_levels needs finite need bounds")
+    for _ in range(MAX_LEVEL + 1):
+        r_min, r_max = grid_bounds(base_min, base_max, levels)
+        uncovered = (need_lo < r_min) | (need_hi > r_max)
+        if not uncovered.any():
+            return levels
+        if np.any(levels[uncovered] >= MAX_LEVEL):
+            bad = int(np.flatnonzero(uncovered & (levels >= MAX_LEVEL))[0])
+            raise ValidationError(
+                f"dimension {bad}: observed range [{need_lo[bad]}, "
+                f"{need_hi[bad]}] exceeds the level-{MAX_LEVEL} chain grid "
+                f"(base [{base_min[bad]}, {base_max[bad]}]); this is a "
+                "~2^48-fold range explosion — clean the stream"
+            )
+        levels[uncovered] += 1
+    raise ValidationError("cover_levels failed to converge")  # pragma: no cover
+
+
+def rebin_maps(
+    old_levels: np.ndarray, new_levels: np.ndarray, depth: int
+) -> np.ndarray:
+    """Exact old-bin → new-bin index map per dimension, ``(n_dims, 2^depth)``.
+
+    ``maps[j, i]`` is the depth-``depth`` bin on the level-``new`` grid
+    that entirely contains bin ``i`` of the level-``old`` grid of
+    dimension ``j`` — the alignment argument in the module docstring. All
+    int64; rebinning a histogram is ``np.add.at(new[j], maps[j], old[j])``
+    and conserves mass exactly.
+    """
+    old_levels = _as_levels(old_levels)
+    new_levels = _as_levels(new_levels)
+    if old_levels.shape != new_levels.shape:
+        raise ValidationError("old and new levels must have equal length")
+    if np.any(new_levels < old_levels):
+        raise ValidationError(
+            "the widening chain only grows; new levels must be >= old"
+        )
+    if depth < 1 or depth > 8:
+        raise ValidationError(f"depth must be in [1, 8], got {depth}")
+    n_bins = 1 << depth
+    i = np.arange(n_bins, dtype=np.int64)
+    offset = (_B_TABLE[new_levels] - _B_TABLE[old_levels]) * n_bins
+    maps = (
+        (i[None, :] << old_levels[:, None]) + offset[:, None]
+    ) >> new_levels[:, None]
+    # The alignment proof guarantees this; assert it anyway — a wrong map
+    # would silently corrupt every downstream histogram.
+    if maps.size and (maps.min() < 0 or maps.max() >= n_bins):
+        raise ValidationError("rebin map escaped [0, n_bins); chain invariant broken")
+    return maps
+
+
+class TailSketch:
+    """Ben-Haim/Tom-Tov merge-closest-bins sketch of one dimension's values.
+
+    The streaming-histogram sketch of *A Streaming Parallel Decision Tree
+    Algorithm* (the scheme behind histogrammar's ``AdaptivelyBin``): keep
+    at most ``max_bins`` (centroid, count) pairs; inserting a value adds a
+    unit bin and merges the two closest centroids when over budget.
+    Projection states feed it per-batch extremes — O(1) per batch — so it
+    cheaply summarizes how the observed tails move without storing points.
+
+    Used for warmup anticipation: :meth:`headroom` extrapolates the tail
+    trajectory so ``anticipate > 0`` mode can widen past the minimal cover
+    while a range is still growing. It never influences the grid unless an
+    out-of-range event already occurred, preserving the bit-identity of
+    adaptive and fixed mode on in-range streams.
+    """
+
+    def __init__(self, max_bins: int = 64):
+        if max_bins < 2:
+            raise ValidationError("TailSketch needs max_bins >= 2")
+        self.max_bins = int(max_bins)
+        self._centers: List[float] = []
+        self._counts: List[float] = []
+        self.n = 0
+
+    def update(self, value: float) -> None:
+        """Insert one value (callers feed batch minima/maxima)."""
+        v = float(value)
+        if not np.isfinite(v):
+            raise ValidationError("TailSketch values must be finite")
+        self.n += 1
+        centers, counts = self._centers, self._counts
+        lo, hi = 0, len(centers)
+        while lo < hi:  # insertion point, keeping centers sorted
+            mid = (lo + hi) // 2
+            if centers[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(centers) and centers[lo] == v:
+            counts[lo] += 1.0
+            return
+        centers.insert(lo, v)
+        counts.insert(lo, 1.0)
+        if len(centers) > self.max_bins:
+            gaps = [centers[i + 1] - centers[i] for i in range(len(centers) - 1)]
+            i = int(np.argmin(gaps))
+            c1, c2 = counts[i], counts[i + 1]
+            centers[i] = (centers[i] * c1 + centers[i + 1] * c2) / (c1 + c2)
+            counts[i] = c1 + c2
+            del centers[i + 1], counts[i + 1]
+
+    def update_many(self, values) -> None:
+        for v in np.asarray(values, dtype=np.float64).ravel():
+            self.update(float(v))
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._centers[0] if self._centers else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._centers[-1] if self._centers else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Crude centroid-interpolated quantile (tails only need crude)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError("quantile must lie in [0, 1]")
+        if not self._centers:
+            return None
+        total = sum(self._counts)
+        rank = q * total
+        cum = 0.0
+        for center, count in zip(self._centers, self._counts):
+            cum += count
+            if cum >= rank:
+                return center
+        return self._centers[-1]
+
+    def headroom(self, factor: float) -> Tuple[float, float]:
+        """Anticipated ``(lo, hi)`` bounds: observed extremes pushed outward
+        by ``factor`` times the sketch's tail width (extreme − 5%/95%
+        quantile). A heavy, still-moving tail yields generous headroom; a
+        tight stationary one yields almost none.
+        """
+        if factor < 0:
+            raise ValidationError("headroom factor must be >= 0")
+        if not self._centers:
+            return (np.inf, -np.inf)
+        lo, hi = self._centers[0], self._centers[-1]
+        q_lo = self.quantile(0.05)
+        q_hi = self.quantile(0.95)
+        return (lo - factor * max(q_lo - lo, 0.0),
+                hi + factor * max(hi - q_hi, 0.0))
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "max_bins": self.max_bins,
+            "centers": list(self._centers),
+            "counts": list(self._counts),
+            "n": self.n,
+        }
+
+    @classmethod
+    def from_state_dict(cls, d: Dict[str, Any]) -> "TailSketch":
+        out = cls(int(d["max_bins"]))
+        out._centers = [float(c) for c in d["centers"]]
+        out._counts = [float(c) for c in d["counts"]]
+        out.n = int(d["n"])
+        return out

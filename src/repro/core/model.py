@@ -149,7 +149,11 @@ class KeyBin2Model:
             "kept_dims": self.kept_dims.tolist(),
             "codes": self.table.codes.tolist(),
             "sizes": None if self.table.sizes is None else self.table.sizes.tolist(),
-            "score": self.score,
+            # CH scores are legitimately ±inf for degenerate partitions
+            # (single cluster, zero within-dispersion), but bare Infinity
+            # tokens are not valid JSON — encode non-finite scores as the
+            # strings float() itself parses back ("inf", "-inf", "nan").
+            "score": self.score if np.isfinite(self.score) else repr(self.score),
             "n_points_fit": self.n_points_fit,
             "meta": _json_sanitize(dict(self.meta)),
         }

@@ -21,8 +21,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.adaptive import (
+    TailSketch,
+    cover_levels,
+    grid_bounds,
+    rebin_maps,
+)
 from repro.core.assess import histogram_ch_index
 from repro.core.binning import SpaceRange
+from repro.core.drift import WindowDriftDetector
 from repro.core.collapse import collapse_dimensions
 from repro.core.model import KeyBin2Model
 from repro.core.partitioning import find_cuts
@@ -329,6 +336,33 @@ def _projected_bounds(
     return SpaceRange(center - half, center + half)
 
 
+def _rebin_key_counter(kc: KeyCounter, maps: np.ndarray) -> KeyCounter:
+    """Re-index a key counter's deep-bin rows through old→new bin maps.
+
+    Each key dimension's bin label is mapped through ``maps[j]`` (the
+    exact grid-widening map from :func:`repro.core.adaptive.rebin_maps`),
+    then the rows are re-folded into a fresh counter. Cells that land on
+    the same widened key merge — total tracked mass and the eviction
+    ledger are preserved exactly.
+    """
+    sd = kc.state_dict()
+    out = KeyCounter(kc.capacity)
+    out._width = kc._width
+    keys = sd["keys"]
+    if keys.shape[0]:
+        new_rows = np.empty(keys.shape, dtype=np.uint8)
+        for j in range(keys.shape[1]):
+            new_rows[:, j] = maps[j][keys[:, j]]
+        out.merge_arrays(
+            new_rows, sd["counts"],
+            evicted_keys=sd["evicted_keys"], evicted_points=sd["evicted_points"],
+        )
+    else:
+        out.evicted_keys = int(sd["evicted_keys"])
+        out.evicted_points = int(sd["evicted_points"])
+    return out
+
+
 class _ProjectionState:
     """Per-projection streaming accumulators.
 
@@ -357,6 +391,9 @@ class _ProjectionState:
         space: SpaceRange,
         depths: Sequence[int],
         key_capacity: int,
+        adaptive: bool = False,
+        drift_window: int = 0,
+        drift_threshold: float = 0.25,
     ):
         self.matrix = matrix
         self.space = space
@@ -374,6 +411,124 @@ class _ProjectionState:
         self.keys_delta = KeyCounter(key_capacity)
         self.keys_local = KeyCounter(key_capacity)
         self.n_points = 0
+        # -- adaptive grid state (see repro.core.adaptive) ------------------
+        # The grid is always `grid_bounds(base_space, levels)`; a fixed-range
+        # state simply stays at level 0 forever, so `space` == `base_space`.
+        self.adaptive = bool(adaptive)
+        self.base_space = space
+        self.levels = np.zeros(n_dims, dtype=np.int64)
+        # Running envelope of everything this rank has observed (projected
+        # coordinates), clamped to at least the base bounds. Pure function
+        # of the data seen, independent of batching — the input every rank
+        # feeds the distributed grid agreement.
+        self.need_lo = space.r_min.copy()
+        self.need_hi = space.r_max.copy()
+        # Monotone epoch, bumped on every rebin; deltas from mismatched
+        # epochs are rebinned (never dropped) by the consolidation layer.
+        self.bin_epoch = 0
+        self.rebin_count = 0
+        # Cumulative out-of-range accounting: entries whose pre-clip bin
+        # fell outside the grid, per dimension per side. In fixed mode
+        # these rows clip (and are counted); in adaptive mode the grid
+        # widens and the batch re-runs, so the counts record quarantine
+        # events that were subsequently recovered exactly.
+        self.oor_low = np.zeros(n_dims, dtype=np.int64)
+        self.oor_high = np.zeros(n_dims, dtype=np.int64)
+        # Per-dimension tail sketches (adaptive only): fed batch extremes,
+        # consulted for anticipatory headroom when `anticipate > 0`.
+        self.sketches: Optional[List[TailSketch]] = (
+            [TailSketch() for _ in range(n_dims)] if self.adaptive else None
+        )
+        # Reference/current window drift detector at the deepest depth.
+        self.drift: Optional[WindowDriftDetector] = (
+            WindowDriftDetector(
+                n_dims, 1 << self.depths[-1], drift_window, drift_threshold
+            )
+            if drift_window > 0
+            else None
+        )
+
+    # -- adaptive grid ------------------------------------------------------
+
+    def observe(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        """Fold observed per-dimension extremes into the need envelope."""
+        np.minimum(self.need_lo, lo, out=self.need_lo)
+        np.maximum(self.need_hi, hi, out=self.need_hi)
+
+    def feed_sketches(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        if self.sketches is None:
+            return
+        for j, sk in enumerate(self.sketches):
+            sk.update(float(lo[j]))
+            sk.update(float(hi[j]))
+
+    def anticipated_need(self, factor: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Sketch-extrapolated (lo, hi) envelope for anticipatory widening."""
+        assert self.sketches is not None
+        lo = self.need_lo.copy()
+        hi = self.need_hi.copy()
+        for j, sk in enumerate(self.sketches):
+            if sk.n == 0:
+                continue
+            s_lo, s_hi = sk.headroom(factor)
+            lo[j] = min(lo[j], s_lo)
+            hi[j] = max(hi[j], s_hi)
+        return lo, hi
+
+    def target_levels(self) -> np.ndarray:
+        """Smallest chain levels (≥ current) whose grid covers the need."""
+        return cover_levels(
+            self.base_space.r_min,
+            self.base_space.r_max,
+            self.need_lo,
+            self.need_hi,
+            start=self.levels,
+        )
+
+    def rebin_to(self, new_levels: np.ndarray) -> bool:
+        """Widen the grid to ``new_levels`` and exactly re-index all state.
+
+        Levels only ever grow (``new_levels`` is clamped below by the
+        current levels); returns False when nothing changes. The deepest
+        histograms are scatter-added through the exact old-bin → new-bin
+        maps (:func:`repro.core.adaptive.rebin_maps`); shallower depths
+        are then *recomputed* from the deepest by prefix-group sums —
+        their invariant (``hist[d]`` equals the depth-``d`` grouping of
+        ``hist[deepest]``) is what makes that exact, and a direct
+        shallow-depth rebin would not be (the shallow grids of two chain
+        levels need not align). Key tables are decoded, mapped per
+        dimension, and re-folded; drift windows ride along. Total mass is
+        conserved bin-for-bin by construction.
+        """
+        new_levels = np.maximum(
+            np.asarray(new_levels, dtype=np.int64), self.levels
+        )
+        if np.array_equal(new_levels, self.levels):
+            return False
+        deepest = self.depths[-1]
+        maps = rebin_maps(self.levels, new_levels, deepest)
+        n_dims = self.space.n_dims
+        for table in (self.hist, self.hist_delta, self.hist_local):
+            old = table[deepest]
+            new = np.zeros_like(old)
+            for j in range(n_dims):
+                np.add.at(new[j], maps[j], old[j])
+            table[deepest] = new
+            for d in self.depths[:-1]:
+                table[d] = new.reshape(n_dims, 1 << d, -1).sum(axis=2)
+        self.keys = _rebin_key_counter(self.keys, maps)
+        self.keys_delta = _rebin_key_counter(self.keys_delta, maps)
+        self.keys_local = _rebin_key_counter(self.keys_local, maps)
+        if self.drift is not None:
+            self.drift.rebin(maps)
+        self.levels = new_levels
+        r_min, r_max = grid_bounds(
+            self.base_space.r_min, self.base_space.r_max, new_levels
+        )
+        self.space = SpaceRange(r_min, r_max)
+        self.bin_epoch += 1
+        self.rebin_count += 1
+        return True
 
     def reset_deltas(self) -> None:
         """Fold the merged deltas into the own-history ledger, then zero them."""
@@ -442,6 +597,34 @@ class StreamingKeyBin2:
         Kernel backend for the fused path: a name (``"numpy"``,
         ``"numba"``), a :class:`~repro.kernels.backend.KernelBackend`
         instance, or None to consult ``REPRO_KERNEL_BACKEND`` / auto-detect.
+    adaptive:
+        When True, the binning grid widens itself as out-of-range data
+        arrives: each projection tracks the observed coordinate envelope
+        and, on any out-of-range event, doubles its range along the
+        alternating chain of :mod:`repro.core.adaptive` and **exactly**
+        rebins all accumulated histograms and key tables onto the wider
+        grid, then re-runs the batch — no row is ever silently clamped.
+        On a stream whose a-priori ``feature_range`` is correct nothing
+        ever goes out of range, so adaptive mode is bit-identical to
+        fixed mode there. Default False (the paper's fixed-range regime).
+    drift_window:
+        Rows per drift-detection window (0 disables detection). When
+        positive, each projection keeps reference/current histogram
+        windows at the deepest depth and scores their total-variation
+        divergence every ``drift_window`` rows — exposed as the
+        ``stream_drift_score`` gauge and via :attr:`drift_detectors` for
+        :class:`repro.core.drift.DriftResponder`.
+    drift_threshold:
+        TV score in (0, 1] at which a completed window reports drift.
+    anticipate:
+        Tail-headroom factor for anticipatory widening (adaptive mode
+        only). 0 (default) widens exactly to cover observed data; a
+        positive factor additionally extrapolates each dimension's tail
+        sketch outward after an out-of-range event, trading a slightly
+        wider grid for fewer rebin cycles on fast-growing ranges. Leaving
+        it at 0 keeps accumulation history-independent (cadence
+        invariant); anticipation makes the grid depend on batch extremes
+        seen so far, so it is strictly opt-in.
 
     Usage::
 
@@ -468,11 +651,19 @@ class StreamingKeyBin2:
         key_capacity: int = 100_000,
         fused: bool = True,
         backend=None,
+        adaptive: bool = False,
+        drift_window: int = 0,
+        drift_threshold: float = 0.25,
+        anticipate: float = 0.0,
         seed: SeedLike = None,
         engine: Optional[KernelEngine] = None,
     ):
         if n_projections < 1:
             raise ValidationError("n_projections must be >= 1")
+        if drift_window < 0:
+            raise ValidationError("drift_window must be >= 0 (0 disables)")
+        if anticipate < 0:
+            raise ValidationError("anticipate must be >= 0")
         if not candidate_depths:
             raise ValidationError("candidate_depths must be non-empty")
         if max(candidate_depths) > 8:
@@ -494,6 +685,10 @@ class StreamingKeyBin2:
         self.key_capacity = int(key_capacity)
         self.fused = bool(fused)
         self.backend = backend
+        self.adaptive = bool(adaptive)
+        self.drift_window = int(drift_window)
+        self.drift_threshold = float(drift_threshold)
+        self.anticipate = float(anticipate)
         self.seed = seed
         self.engine = engine
         # Lazily-resolved backend instance (backends carry per-consumer
@@ -540,7 +735,12 @@ class StreamingKeyBin2:
                     self.range_expand
                 )
             states.append(
-                _ProjectionState(matrix, space, self.candidate_depths, self.key_capacity)
+                _ProjectionState(
+                    matrix, space, self.candidate_depths, self.key_capacity,
+                    adaptive=self.adaptive,
+                    drift_window=self.drift_window,
+                    drift_threshold=self.drift_threshold,
+                )
             )
         self._states = states
 
@@ -595,23 +795,69 @@ class StreamingKeyBin2:
         histogram is computed once and added to both the running view and
         the consolidation delta, and keys fold through the same canonical
         byte encoding with the same once-per-batch eviction cadence.
+
+        Adaptive mode wraps the kernel in a widen-and-retry loop: results
+        are batch-local, so nothing touches the accumulators until a pass
+        completes with zero out-of-range entries. On any out-of-range
+        event the grid widens (at least one level on every offending
+        dimension — the forced progression that terminates the float
+        boundary case where ``x == r_max`` floors to ``2^depth``), the
+        accumulated state is exactly rebinned, and the whole batch
+        re-runs on the wider grid.
         """
-        from repro.kernels.fused import FusedStateSpec, fused_partial_fit
+        from repro.kernels.fused import (
+            DEFAULT_FUSED_CHUNK,
+            FusedStateSpec,
+            fused_partial_fit,
+        )
 
         assert self._states is not None
-        specs = [
-            FusedStateSpec(st.matrix, st.space.r_min, st.space.r_max, st.depths)
-            for st in self._states
-        ]
-        from repro.kernels.fused import DEFAULT_FUSED_CHUNK
-
         chunk = (
             DEFAULT_FUSED_CHUNK if self.engine is None else self.engine.block_size
         )
-        results = fused_partial_fit(
-            x, specs, backend=self._resolve_backend(), chunk_size=chunk
-        )
-        for state, res in zip(self._states, results):
+
+        def run():
+            specs = [
+                FusedStateSpec(st.matrix, st.space.r_min, st.space.r_max, st.depths)
+                for st in self._states
+            ]
+            return fused_partial_fit(
+                x, specs, backend=self._resolve_backend(), chunk_size=chunk,
+                track_bounds=self.adaptive,
+            )
+
+        results = run()
+        if self.adaptive:
+            for st, res in zip(self._states, results):
+                st.observe(res.obs_lo, res.obs_hi)
+                st.feed_sketches(res.obs_lo, res.obs_hi)
+            while True:
+                widened = False
+                for idx, (st, res) in enumerate(zip(self._states, results)):
+                    oor_dims = (res.oor_low > 0) | (res.oor_high > 0)
+                    if not oor_dims.any():
+                        continue
+                    st.oor_low += res.oor_low
+                    st.oor_high += res.oor_high
+                    self._note_out_of_range(idx, res.oor_low, res.oor_high)
+                    if self.anticipate > 0:
+                        st.observe(*st.anticipated_need(self.anticipate))
+                    target = np.maximum(
+                        st.target_levels(), st.levels + oor_dims.astype(np.int64)
+                    )
+                    if st.rebin_to(target):
+                        self._note_rebin(idx)
+                    widened = True
+                if not widened:
+                    break
+                results = run()
+        for idx, (state, res) in enumerate(zip(self._states, results)):
+            if not self.adaptive:
+                # Fixed-range mode: out-of-range rows clip into boundary
+                # bins (the paper's regime) but are no longer silent.
+                state.oor_low += res.oor_low
+                state.oor_high += res.oor_high
+                self._note_out_of_range(idx, res.oor_low, res.oor_high)
             for d in state.depths:
                 state.hist[d] += res.hist[d]
                 state.hist_delta[d] += res.hist[d]
@@ -625,6 +871,7 @@ class StreamingKeyBin2:
                 state.keys.merge_arrays(res.key_rows, res.key_counts)
                 state.keys_delta.merge_arrays(res.key_rows, res.key_counts)
             state.n_points += x.shape[0]
+            self._feed_drift(idx, state, res.hist[state.depths[-1]], x.shape[0])
 
     def _accumulate_reference(self, x: np.ndarray) -> None:
         """Reference accumulation through the unfused kernels.
@@ -634,17 +881,46 @@ class StreamingKeyBin2:
         """
         assert self._states is not None
         deepest = self.candidate_depths[-1]
-        for state in self._states:
+        for idx, state in enumerate(self._states):
             with trace.span("project"):
                 projected = (
                     x if state.matrix is None
                     else project_points(x, state.matrix, engine=self.engine)
                 )
+            if self.adaptive:
+                lo = projected.min(axis=0)
+                hi = projected.max(axis=0)
+                state.observe(lo, hi)
+                state.feed_sketches(lo, hi)
+                if state.rebin_to(state.target_levels()):
+                    self._note_rebin(idx)
             with trace.span("bin"):
-                deep = bin_indices(
-                    projected, state.space.r_min, state.space.r_max, deepest,
-                    engine=self.engine,
-                )
+                # Same widen-and-retry contract as the fused path; the
+                # pre-widening above covers observed extremes, so at most
+                # the float boundary case (x == r_max) retries here.
+                while True:
+                    oor_low = np.zeros(state.space.n_dims, dtype=np.int64)
+                    oor_high = np.zeros(state.space.n_dims, dtype=np.int64)
+                    deep = bin_indices(
+                        projected, state.space.r_min, state.space.r_max,
+                        deepest, engine=self.engine,
+                        oor_low=oor_low, oor_high=oor_high,
+                    )
+                    oor_dims = (oor_low > 0) | (oor_high > 0)
+                    if oor_dims.any():
+                        state.oor_low += oor_low
+                        state.oor_high += oor_high
+                        self._note_out_of_range(idx, oor_low, oor_high)
+                    if not self.adaptive or not oor_dims.any():
+                        break
+                    if self.anticipate > 0:
+                        state.observe(*state.anticipated_need(self.anticipate))
+                    target = np.maximum(
+                        state.target_levels(),
+                        state.levels + oor_dims.astype(np.int64),
+                    )
+                    if state.rebin_to(target):
+                        self._note_rebin(idx)
             with trace.span("histogram"):
                 for d in state.depths:
                     b = deep if d == deepest else prefix_bins(deep, deepest, d)
@@ -659,6 +935,69 @@ class StreamingKeyBin2:
                 state.keys.update(deep_u8)
                 state.keys_delta.update(deep_u8)
             state.n_points += x.shape[0]
+            if state.drift is not None:
+                batch_hist = np.zeros_like(state.hist[deepest])
+                accumulate_histogram(
+                    deep, 1 << deepest, out=batch_hist, engine=self.engine
+                )
+                self._feed_drift(idx, state, batch_hist, x.shape[0])
+
+    # -- adaptive/drift telemetry ------------------------------------------
+
+    def _note_rebin(self, idx: int) -> None:
+        reg = default_registry()
+        if reg.enabled:
+            reg.counter(
+                "stream_rebin_total",
+                "Adaptive grid rebin (range-widening) events per projection.",
+                ("projection",),
+            ).labels(projection=str(idx)).inc()
+
+    def _note_out_of_range(
+        self, idx: int, oor_low: np.ndarray, oor_high: np.ndarray
+    ) -> None:
+        reg = default_registry()
+        if not reg.enabled:
+            return
+        counter = reg.counter(
+            "stream_out_of_range_total",
+            "Rows whose pre-clip bin index fell outside the grid, by "
+            "projected dimension and side.",
+            ("projection", "dim", "side"),
+        )
+        for j in np.flatnonzero(oor_low):
+            counter.labels(
+                projection=str(idx), dim=str(int(j)), side="low"
+            ).inc(int(oor_low[j]))
+        for j in np.flatnonzero(oor_high):
+            counter.labels(
+                projection=str(idx), dim=str(int(j)), side="high"
+            ).inc(int(oor_high[j]))
+
+    def _feed_drift(
+        self, idx: int, state: _ProjectionState, batch_deep_hist: np.ndarray,
+        n_rows: int,
+    ) -> None:
+        if state.drift is None:
+            return
+        score = state.drift.update(batch_deep_hist, n_rows)
+        if score is not None:
+            reg = default_registry()
+            if reg.enabled:
+                reg.gauge(
+                    "stream_drift_score",
+                    "Latest reference/current window TV divergence per "
+                    "projection.",
+                    ("projection",),
+                ).labels(projection=str(idx)).set(float(score))
+
+    @property
+    def drift_detectors(self) -> List[Optional[WindowDriftDetector]]:
+        """Per-projection drift detectors (empty before the first batch;
+        entries are None when ``drift_window`` is 0)."""
+        if self._states is None:
+            return []
+        return [st.drift for st in self._states]
 
     # -- consolidation ---------------------------------------------------------
 
@@ -685,6 +1024,23 @@ class StreamingKeyBin2:
                 "stream_refreshes_total",
                 "StreamingKeyBin2.refresh consolidations performed.",
             ).inc()
+            # Edge-bin saturation: the share of deepest-depth mass sitting
+            # in boundary bins. On a fixed grid a high value means the
+            # range is clipping real structure (the obs report warns);
+            # adaptive mode keeps it near the natural tail mass.
+            gauge = reg.gauge(
+                "stream_edge_bin_fraction",
+                "Fraction of deepest-depth histogram mass in boundary bins, "
+                "per projection.",
+                ("projection",),
+            )
+            deepest = self.candidate_depths[-1]
+            for idx, st in enumerate(self._states):
+                h = st.hist[deepest]
+                total = int(h.sum())
+                if total:
+                    edge = int(h[:, 0].sum() + h[:, -1].sum())
+                    gauge.labels(projection=str(idx)).set(edge / total)
         if publish_to is not None and self.model_ is not None:
             publish_to.publish(self.model_)
         return self
@@ -754,14 +1110,19 @@ class StreamingKeyBin2:
     # -- checkpointing -------------------------------------------------------
 
     _CKPT_FORMAT = "keybin2-stream-state"
-    _CKPT_VERSION = 1
+    # Version 2 adds the adaptive-grid and drift fields (base bounds,
+    # chain levels, need envelope, epoch, OOR ledger, sketches, detector
+    # windows). Version-1 checkpoints still load: every new field defaults
+    # to its fixed-range value (levels 0, need == space, no detector).
+    _CKPT_VERSION = 2
     _CKPT_MAGIC = b"KB2SCKPT"
 
     _CONFIG_FIELDS = (
         "n_projections", "n_components", "candidate_depths", "projection",
         "projection_factor", "range_expand", "feature_range", "collapse",
         "uniform_threshold", "min_support_bins", "min_cut_prominence",
-        "key_capacity", "fused", "backend",
+        "key_capacity", "fused", "backend", "adaptive", "drift_window",
+        "drift_threshold", "anticipate",
     )
 
     def state_dict(self) -> Dict[str, Any]:
@@ -799,6 +1160,21 @@ class StreamingKeyBin2:
                     "keys_delta": st.keys_delta.state_dict(),
                     "keys_local": st.keys_local.state_dict(),
                     "n_points": st.n_points,
+                    # v2 adaptive-grid / drift fields.
+                    "base_r_min": st.base_space.r_min,
+                    "base_r_max": st.base_space.r_max,
+                    "levels": st.levels,
+                    "need_lo": st.need_lo,
+                    "need_hi": st.need_hi,
+                    "bin_epoch": st.bin_epoch,
+                    "rebin_count": st.rebin_count,
+                    "oor_low": st.oor_low,
+                    "oor_high": st.oor_high,
+                    "sketches": (
+                        None if st.sketches is None
+                        else [sk.state_dict() for sk in st.sketches]
+                    ),
+                    "drift": None if st.drift is None else st.drift.state_dict(),
                 })
         return {
             "format": self._CKPT_FORMAT,
@@ -913,11 +1289,13 @@ class StreamingKeyBin2:
         if payload["states"] is not None:
             states: List[_ProjectionState] = []
             for sd in payload["states"]:
+                space = SpaceRange(sd["r_min"], sd["r_max"])
                 st = _ProjectionState(
                     sd["matrix"],
-                    SpaceRange(sd["r_min"], sd["r_max"]),
+                    space,
                     sd["depths"],
                     sd["key_capacity"],
+                    adaptive=skb.adaptive,
                 )
                 for d in st.depths:
                     st.hist[d] = np.asarray(sd["hist"][d], dtype=np.int64)
@@ -927,6 +1305,38 @@ class StreamingKeyBin2:
                 st.keys_delta = KeyCounter.from_state_dict(sd["keys_delta"])
                 st.keys_local = KeyCounter.from_state_dict(sd["keys_local"])
                 st.n_points = int(sd["n_points"])
+                # v2 adaptive/drift fields; v1 checkpoints fall back to the
+                # fixed-range interpretation (level-0 grid == the stored
+                # space, need envelope == the grid, no sketches/detector).
+                if sd.get("base_r_min") is not None:
+                    st.base_space = SpaceRange(sd["base_r_min"], sd["base_r_max"])
+                st.levels = np.asarray(
+                    sd.get("levels", np.zeros(space.n_dims)), dtype=np.int64
+                )
+                st.need_lo = np.asarray(
+                    sd.get("need_lo", space.r_min), dtype=np.float64
+                ).copy()
+                st.need_hi = np.asarray(
+                    sd.get("need_hi", space.r_max), dtype=np.float64
+                ).copy()
+                st.bin_epoch = int(sd.get("bin_epoch", 0))
+                st.rebin_count = int(sd.get("rebin_count", 0))
+                st.oor_low = np.asarray(
+                    sd.get("oor_low", np.zeros(space.n_dims)), dtype=np.int64
+                ).copy()
+                st.oor_high = np.asarray(
+                    sd.get("oor_high", np.zeros(space.n_dims)), dtype=np.int64
+                ).copy()
+                sketches = sd.get("sketches")
+                if sketches is not None:
+                    st.sketches = [
+                        TailSketch.from_state_dict(s) for s in sketches
+                    ]
+                drift_sd = sd.get("drift")
+                if drift_sd is not None:
+                    st.drift = WindowDriftDetector.from_state_dict(drift_sd)
+                elif skb.drift_window <= 0:
+                    st.drift = None
                 states.append(st)
             skb._states = states
         skb.restored_meta_ = dict(payload.get("meta", {}))

@@ -91,9 +91,17 @@ def consolidate_streaming_state(
 
     Every round records per-rank telemetry into the obs default registry:
     ``insitu_consolidation_bytes_total{kind,rank,algo}`` (delta bytes on
-    the wire — the paper's O(2·K·N_rp·B) term under ``kind="hist"``),
+    the wire — the paper's O(2·K·N_rp·B) term under ``kind="hist"``; the
+    adaptive grid-agreement buffer rides under ``kind="grid"`` and is
+    absent entirely in fixed-range mode),
     ``insitu_consolidation_rounds_total``, peer cells folded, and
     eviction totals, plus ``consolidate/...`` phase spans.
+
+    With ``skb.adaptive``, a grid-agreement MAX-allreduce runs *before*
+    the delta merge: ranks pool their observed need envelopes and chain
+    levels and all rebin to the same (widest) grid, so deltas accumulated
+    at older bin epochs are exactly rebinned — never dropped — before
+    summation.
     """
     if reduce_algo not in ("linear", "ring"):
         raise ValidationError(
@@ -102,7 +110,79 @@ def consolidate_streaming_state(
     assert skb._states is not None
     reg = default_registry()
     rank = str(comm.rank)
+    grid_bytes = 0
     with trace.span("consolidate"):
+        # --- adaptive grid agreement (before ANY delta travels) ------------
+        # Each rank's deltas are meaningful only on its own grid, and a
+        # rank that saw wider data than its peers has already widened
+        # locally. Pool the per-dimension need envelopes and chain levels
+        # with one MAX allreduce (lows negated so MAX pools the minimum),
+        # then every rank widens to the common target: the cover of the
+        # pooled need, never below the widest pooled level (a rank's level
+        # can exceed its need's cover because of the forced +1 progression
+        # on float-boundary retries). Since the chain is totally ordered,
+        # every rank lands on the *same* grid, and each rank's pending
+        # deltas — possibly accumulated at an older bin epoch — are
+        # exactly rebinned rather than dropped before the merge below.
+        if getattr(skb, "adaptive", False):
+            with trace.span("grid_allreduce"):
+                # The buffer also carries each base bound twice (±value):
+                # under MAX, a vector is identical on every rank iff its
+                # pooled max equals the negated pooled max of its negation
+                # — a free equality proof. Chain levels are only
+                # comparable on a shared base grid (same seed + same
+                # feature_range, or deterministically derived bounds), so
+                # divergent bases must be a loud error, not a silent
+                # merge of incompatible grids. Every rank sees the same
+                # pooled buffer, so all raise together — no deadlock.
+                grid_buf = np.concatenate(
+                    [
+                        np.concatenate(
+                            [
+                                -st.need_lo,
+                                st.need_hi,
+                                st.levels.astype(np.float64),
+                                st.base_space.r_min,
+                                -st.base_space.r_min,
+                                st.base_space.r_max,
+                                -st.base_space.r_max,
+                            ]
+                        )
+                        for st in skb._states
+                    ]
+                )
+                pooled = comm.allreduce(grid_buf, op=ReduceOp.MAX)
+                grid_bytes = grid_buf.nbytes
+                off = 0
+                for idx, st in enumerate(skb._states):
+                    n = st.space.n_dims
+                    need_lo = -pooled[off : off + n]
+                    need_hi = pooled[off + n : off + 2 * n]
+                    pooled_levels = pooled[
+                        off + 2 * n : off + 3 * n
+                    ].astype(np.int64)
+                    bmin_hi = pooled[off + 3 * n : off + 4 * n]
+                    bmin_lo = -pooled[off + 4 * n : off + 5 * n]
+                    bmax_hi = pooled[off + 5 * n : off + 6 * n]
+                    bmax_lo = -pooled[off + 6 * n : off + 7 * n]
+                    off += 7 * n
+                    mismatch = (bmin_hi != bmin_lo) | (bmax_hi != bmax_lo)
+                    if mismatch.any():
+                        dim = int(np.flatnonzero(mismatch)[0])
+                        raise ValidationError(
+                            f"adaptive grid agreement: ranks disagree on the "
+                            f"base grid of projection {idx}, dimension {dim} "
+                            f"(base_min spans [{bmin_lo[dim]}, {bmin_hi[dim]}]"
+                            f", base_max spans [{bmax_lo[dim]}, "
+                            f"{bmax_hi[dim]}] across ranks); distributed "
+                            "adaptive binning needs every rank to derive the "
+                            "same base grid — construct the estimators with "
+                            "a shared seed and an explicit feature_range"
+                        )
+                    st.observe(need_lo, need_hi)
+                    target = np.maximum(st.target_levels(), pooled_levels)
+                    if st.rebin_to(target):
+                        skb._note_rebin(idx)
         # --- histogram deltas: one flat buffer for all projections/depths ---
         flat_delta = np.concatenate(
             [st.hist_delta[d].ravel() for st in skb._states for d in st.depths]
@@ -169,6 +249,10 @@ def consolidate_streaming_state(
             payload_nbytes(payload)
         )
         bytes_total.labels(kind="seen", rank=rank, algo=reduce_algo).inc(8)
+        if grid_bytes:
+            bytes_total.labels(kind="grid", rank=rank, algo=reduce_algo).inc(
+                grid_bytes
+            )
         reg.counter(
             "insitu_consolidation_rounds_total",
             "Distributed delta-merge rounds completed, per rank and reduce algo.",

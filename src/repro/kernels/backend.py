@@ -94,6 +94,10 @@ class KernelBackend:
         hist_flat: Optional[np.ndarray] = None,
         codes: Optional[np.ndarray] = None,
         rows: Optional[np.ndarray] = None,
+        oor_low: Optional[np.ndarray] = None,
+        oor_high: Optional[np.ndarray] = None,
+        obs_lo: Optional[np.ndarray] = None,
+        obs_hi: Optional[np.ndarray] = None,
     ) -> int:
         """Bin, count and pack one (n × m) transposed chunk of projected
         coordinates.
@@ -130,6 +134,24 @@ class KernelBackend:
         rows:
             Optional (n × m) uint8 output of raw deep bin indices,
             dimension-major — the wide-key fallback when n > 8.
+        oor_low, oor_high:
+            Optional (n,) int64 accumulators for out-of-range accounting:
+            the number of chunk entries whose pre-clip bin index fell
+            below 0 / above ``n_bins - 1`` is **added** per dimension.
+            The clip into the boundary bin still happens (the histogram
+            and keys stay total), but the saturation is no longer silent
+            — callers decide whether to widen the range (adaptive mode)
+            or merely report it.
+        obs_lo, obs_hi:
+            Optional (n,) float64 accumulators for observed bounds: the
+            chunk's per-dimension minima/maxima are folded in with
+            ``minimum``/``maximum`` (pass ``+inf``/``-inf``-filled
+            buffers initially). Both or neither. Backends may use the
+            min/max reductions *as* the non-finite screen (NaN
+            propagates through both and ±inf survives them), making
+            bounds tracking cheaper than a separate finiteness pass —
+            but the accumulators must stay untouched when the chunk
+            turns out to contain a non-finite coordinate.
 
         Returns
         -------
@@ -185,18 +207,39 @@ class NumpyBackend(KernelBackend):
         hist_flat: Optional[np.ndarray] = None,
         codes: Optional[np.ndarray] = None,
         rows: Optional[np.ndarray] = None,
+        oor_low: Optional[np.ndarray] = None,
+        oor_high: Optional[np.ndarray] = None,
+        obs_lo: Optional[np.ndarray] = None,
+        obs_hi: Optional[np.ndarray] = None,
     ) -> int:
         n, m = projected.shape
         if m == 0:
             return -1
-        finite = np.isfinite(projected)
-        if not finite.all():
-            return int(np.flatnonzero(~finite.all(axis=0))[0])
+        if obs_lo is not None and obs_hi is not None:
+            # The min/max reductions double as the non-finite screen:
+            # NaN propagates through both and ±inf survives them, so
+            # the (n × m) isfinite pass (and its bool temporary) is
+            # only paid on the failure path, to locate the bad sample.
+            mn = projected.min(axis=1)
+            mx = projected.max(axis=1)
+            if not (np.isfinite(mn).all() and np.isfinite(mx).all()):
+                finite_cols = np.isfinite(projected).all(axis=0)
+                return int(np.flatnonzero(~finite_cols)[0])
+            np.minimum(obs_lo, mn, out=obs_lo)
+            np.maximum(obs_hi, mx, out=obs_hi)
+        else:
+            finite = np.isfinite(projected)
+            if not finite.all():
+                return int(np.flatnonzero(~finite.all(axis=0))[0])
         # Same float ops as the reference bin_indices kernel, in place.
         work = projected
         work -= r_min[:, None]
         work *= scale[:, None]
         np.floor(work, out=work)
+        if oor_low is not None:
+            oor_low += (work < 0.0).sum(axis=1)
+        if oor_high is not None:
+            oor_high += (work > n_bins - 1).sum(axis=1)
         np.clip(work, 0, n_bins - 1, out=work)
         if codes is not None:
             # Pack keys by byte layout instead of arithmetic: write each

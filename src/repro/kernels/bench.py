@@ -33,14 +33,27 @@ import numpy as np
 from repro.core.streaming import StreamingKeyBin2
 from repro.kernels.backend import available_backends, get_backend
 
-__all__ = ["run_kernels_bench", "DEFAULT_OUT_PATH", "DEFAULT_SPEEDUP_FLOOR"]
+__all__ = [
+    "run_kernels_bench",
+    "run_drift_bench",
+    "DEFAULT_OUT_PATH",
+    "DEFAULT_DRIFT_OUT_PATH",
+    "DEFAULT_SPEEDUP_FLOOR",
+    "DEFAULT_ADAPTIVE_OVERHEAD_CEILING",
+]
 
 DEFAULT_OUT_PATH = "BENCH_kernels.json"
+DEFAULT_DRIFT_OUT_PATH = "BENCH_drift.json"
 
 #: Acceptance floor for ``--check`` when no explicit floor is given:
 #: fused partial_fit must ingest at least this many times faster than the
 #: reference path on the best available backend.
 DEFAULT_SPEEDUP_FLOOR = 5.0
+
+#: Acceptance ceiling for the adaptive-tracking overhead on a stationary
+#: in-range stream: adaptive partial_fit may cost at most this fraction
+#: more than fixed-range partial_fit (the tentpole's <5% budget).
+DEFAULT_ADAPTIVE_OVERHEAD_CEILING = 0.05
 
 
 def _make_model(backend: Optional[str], fused: bool, seed: int,
@@ -184,4 +197,128 @@ def run_kernels_bench(
         + ("PASS" if results["passed"] else "FAIL")
         + f" (best speedup {best_speedup:.2f}x vs floor {floor}x, "
         + f"equivalent={equivalent})")
+    return results
+
+
+def run_drift_bench(
+    backend: Optional[str] = None,
+    n_points: int = 50_000,
+    n_features: int = 128,
+    n_projections: int = 8,
+    depths: Sequence[int] = (4, 5, 6, 7),
+    n_clusters: int = 64,
+    cluster_std: float = 0.05,
+    repeats: int = 5,
+    seed: int = 0,
+    max_overhead: float = DEFAULT_ADAPTIVE_OVERHEAD_CEILING,
+    out_path: Optional[str] = DEFAULT_DRIFT_OUT_PATH,
+    quiet: bool = False,
+) -> Dict[str, Any]:
+    """Measure what adaptive range tracking costs on a stationary stream.
+
+    The guard the tentpole promises: on a stream that never goes out of
+    range, adaptive mode must be (a) **bit-identical** to fixed-range
+    mode — the tracking machinery must not perturb a single bin — and
+    (b) within ``max_overhead`` of its throughput (default 5%). Both
+    estimators replay the same in-range batch (the first batch seeds the
+    range with margin, so replays never leave it, and the adaptive grid
+    provably never widens); best-of-``repeats`` timing, same protocol as
+    :func:`run_kernels_bench`. A drift-detection variant is measured and
+    reported for information, but only the adaptive overhead gates
+    ``passed``.
+    """
+
+    def say(msg: str) -> None:
+        if not quiet:
+            print(msg, flush=True)
+
+    if backend is None:
+        avail = available_backends()
+        backend = "numba" if avail.get("numba") else "numpy"
+    else:
+        get_backend(backend)
+
+    rng = np.random.default_rng(seed)
+    centers = 4.0 * rng.standard_normal((n_clusters, n_features))
+    assign = rng.integers(0, n_clusters, size=n_points)
+    x = centers[assign] + cluster_std * rng.standard_normal(
+        (n_points, n_features)
+    )
+
+    def make(adaptive: bool, drift_window: int = 0) -> StreamingKeyBin2:
+        return StreamingKeyBin2(
+            n_projections=n_projections,
+            candidate_depths=tuple(depths),
+            fused=True,
+            backend=backend,
+            adaptive=adaptive,
+            drift_window=drift_window,
+            seed=seed,
+        )
+
+    fixed = make(False)
+    fixed_best = _time_partial_fit(fixed, x, repeats)
+    say(f"drift-bench: fixed-range partial_fit best "
+        f"{fixed_best * 1e3:.1f} ms ({n_points / fixed_best:,.0f} rows/s)")
+
+    adaptive = make(True)
+    adaptive_best = _time_partial_fit(adaptive, x, repeats)
+    overhead = adaptive_best / fixed_best - 1.0
+    rebins = sum(st.rebin_count for st in adaptive._states)
+    same = _states_equal(fixed, adaptive)
+    say(f"drift-bench: adaptive partial_fit best "
+        f"{adaptive_best * 1e3:.1f} ms -> overhead {overhead * 100:+.2f}% "
+        f"(rebins={rebins}, bit_identical={same})")
+
+    drifting = make(True, drift_window=n_points)
+    drift_best = _time_partial_fit(drifting, x, repeats)
+    drift_overhead = drift_best / fixed_best - 1.0
+    say(f"drift-bench: adaptive+drift partial_fit best "
+        f"{drift_best * 1e3:.1f} ms -> overhead {drift_overhead * 100:+.2f}%")
+
+    results: Dict[str, Any] = {
+        "benchmark": "adaptive_tracking_overhead",
+        "config": {
+            "backend": backend,
+            "n_points": n_points,
+            "n_features": n_features,
+            "n_projections": n_projections,
+            "depths": list(depths),
+            "n_clusters": n_clusters,
+            "cluster_std": cluster_std,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "fixed": {
+            "best_s": round(fixed_best, 6),
+            "rows_per_s": round(n_points / fixed_best, 1),
+        },
+        "adaptive": {
+            "best_s": round(adaptive_best, 6),
+            "rows_per_s": round(n_points / adaptive_best, 1),
+            "overhead": round(overhead, 4),
+            "rebins": rebins,
+            "bit_identical": same,
+        },
+        "adaptive_drift": {
+            "best_s": round(drift_best, 6),
+            "rows_per_s": round(n_points / drift_best, 1),
+            "overhead": round(drift_overhead, 4),
+        },
+        "max_overhead": max_overhead,
+        "passed": bool(same and rebins == 0 and overhead <= max_overhead),
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+        say(f"drift-bench: wrote {out_path}")
+    say("drift-bench: "
+        + ("PASS" if results["passed"] else "FAIL")
+        + f" (overhead {overhead * 100:+.2f}% vs ceiling "
+        + f"{max_overhead * 100:.0f}%, bit_identical={same})")
     return results

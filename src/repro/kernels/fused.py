@@ -116,6 +116,17 @@ class FusedResult:
         Points processed.
     backend:
         Name of the backend that ran the pass.
+    oor_low, oor_high:
+        (n_dims,) int64 out-of-range accounting: how many of this batch's
+        entries were clipped into the bottom/top boundary bin per
+        dimension. Always populated — silent edge-bin saturation is the
+        open-world failure mode this exists to surface. Adaptive callers
+        treat any nonzero count as "widen the grid and re-run the batch".
+    obs_lo, obs_hi:
+        (n_dims,) float64 observed minima/maxima of the projected batch,
+        or None unless the caller asked for bounds tracking
+        (``track_bounds=True``) — only adaptive range discovery needs
+        them, and the per-chunk reductions are not free.
     """
 
     hist: Dict[int, np.ndarray]
@@ -124,6 +135,10 @@ class FusedResult:
     key_codes: Optional[np.ndarray]
     n_rows: int
     backend: str
+    oor_low: Optional[np.ndarray] = None
+    oor_high: Optional[np.ndarray] = None
+    obs_lo: Optional[np.ndarray] = None
+    obs_hi: Optional[np.ndarray] = None
 
 
 def decode_key_codes(codes: np.ndarray, width: int) -> np.ndarray:
@@ -183,6 +198,12 @@ class _PreparedState:
         self.rows_t = (
             None if self.narrow else np.empty((n_dims, m_total), dtype=np.uint8)
         )
+        # Out-of-range accounting, accumulated across chunks by the
+        # backend; observed bounds filled by the driver when requested.
+        self.oor_low = np.zeros(n_dims, dtype=np.int64)
+        self.oor_high = np.zeros(n_dims, dtype=np.int64)
+        self.obs_lo: Optional[np.ndarray] = None
+        self.obs_hi: Optional[np.ndarray] = None
         # Row slice in the stacked transposed GEMM output (set by driver).
         self.col_start = 0
         self.col_stop = 0
@@ -193,6 +214,7 @@ def fused_partial_fit(
     specs: Sequence[FusedStateSpec],
     backend: Union[None, str, KernelBackend] = None,
     chunk_size: Optional[int] = DEFAULT_FUSED_CHUNK,
+    track_bounds: bool = False,
 ) -> List[FusedResult]:
     """Run the fused pipeline over ``x`` for several projection states.
 
@@ -201,6 +223,15 @@ def fused_partial_fit(
     Emits the same ``project``/``bin``/``histogram``/``keys`` trace spans
     as the reference path, so phase attribution in the observability
     report is backend-agnostic.
+
+    ``track_bounds=True`` additionally records each state's observed
+    projected minima/maxima (``obs_lo``/``obs_hi`` on the result) — the
+    measurement adaptive range discovery widens from. The backend folds
+    each chunk's bounds before its bin arithmetic clobbers the
+    workspace, and uses the same min/max reductions as its non-finite
+    screen, so tracking costs roughly one extra pass over the projected
+    chunk rather than two plus an isfinite temporary; fixed-range
+    callers skip it entirely.
 
     Raises ``ValidationError`` when any chunk projects to a non-finite
     coordinate (NaN/Inf input); no caller-visible state is touched in that
@@ -220,6 +251,14 @@ def fused_partial_fit(
     be = get_backend(backend)
 
     prepared = [_PreparedState(spec, n_features, m_total) for spec in specs]
+    if track_bounds and m_total > 0:
+        # ±inf-seeded accumulators the backend folds each chunk's
+        # min/max into (and uses as its non-finite screen, saving the
+        # per-chunk isfinite pass); empty input keeps them None so the
+        # result reports "nothing observed" rather than ±inf.
+        for p in prepared:
+            p.obs_lo = np.full(p.n_dims, np.inf)
+            p.obs_hi = np.full(p.n_dims, -np.inf)
 
     # Column-stack every projection matrix into one GEMM operand: each
     # chunk of x is then read once and projected for all states in a
@@ -275,6 +314,8 @@ def fused_partial_fit(
                     view, p.r_min, p.scale, p.n_bins, p.hist_flat,
                     codes=None if p.codes is None else p.codes[start:stop],
                     rows=None if p.rows_t is None else p.rows_t[:, start:stop],
+                    oor_low=p.oor_low, oor_high=p.oor_high,
+                    obs_lo=p.obs_lo, obs_hi=p.obs_hi,
                 )
                 n_chunk_launches += 1
                 if bad >= 0:
@@ -344,7 +385,11 @@ def fused_partial_fit(
                         p.n_dims, 1 << d, 1 << (p.deepest - d)
                     ).sum(axis=2)
             results.append(
-                FusedResult(hist, key_rows, key_counts, key_codes, m_total, be.name)
+                FusedResult(
+                    hist, key_rows, key_counts, key_codes, m_total, be.name,
+                    oor_low=p.oor_low, oor_high=p.oor_high,
+                    obs_lo=p.obs_lo, obs_hi=p.obs_hi,
+                )
             )
 
     reg = default_registry()

@@ -55,6 +55,20 @@ def bin_scale(
     r_max = np.asarray(r_max, dtype=np.float64).ravel()
     if r_min.shape != r_max.shape:
         raise ValidationError("r_min and r_max must have the same length")
+    bad = ~(np.isfinite(r_min) & np.isfinite(r_max))
+    if bad.any():
+        # A NaN/inf bound would survive the span check below as a NaN
+        # scale, and floor(NaN·x) casts to garbage bin indices — name the
+        # offending dimensions instead of corrupting every key downstream.
+        dims = np.flatnonzero(bad)
+        head = ", ".join(str(int(d)) for d in dims[:5])
+        more = "" if dims.size <= 5 else f", … ({dims.size} dims total)"
+        raise ValidationError(
+            f"bin_scale: non-finite binning range in dimension(s) {head}"
+            f"{more} (r_min/r_max must be finite; got "
+            f"r_min[{int(dims[0])}]={r_min[dims[0]]!r}, "
+            f"r_max[{int(dims[0])}]={r_max[dims[0]]!r})"
+        )
     span = r_max - r_min
     if np.any(span <= 0):
         raise ValidationError("r_max must be strictly greater than r_min per dimension")
@@ -91,6 +105,8 @@ def bin_indices(
     depth: int,
     engine: Optional[KernelEngine] = None,
     out: Optional[np.ndarray] = None,
+    oor_low: Optional[np.ndarray] = None,
+    oor_high: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Depth-``depth`` bin index of every (point, dimension) entry.
 
@@ -104,6 +120,15 @@ def bin_indices(
         late point exceeds the initially observed range.
     depth:
         Bin tree depth; produces ``2^depth`` bins.
+    oor_low, oor_high:
+        Optional (N,) int64 accumulators. When given, the number of
+        entries clipped into the bottom/top boundary bin is **added** per
+        dimension — the out-of-range accounting that makes edge-bin
+        saturation observable instead of silent. Counting happens on the
+        pre-clip indices of the exact binning arithmetic (so a value that
+        floats to bin ``2^depth`` counts high even if it is numerically
+        ``<= r_max``), and forces the single-pass (engine-less) kernel:
+        the engine's parallel blocks would race on the accumulators.
 
     Returns
     -------
@@ -125,6 +150,9 @@ def bin_indices(
     r_min_v, scale_v = bin_scale(r_min, r_max, depth)
     if r_min_v.shape[0] != x.shape[1]:
         raise ValidationError("r_min/r_max length must match number of dimensions")
+    track_oor = oor_low is not None or oor_high is not None
+    if track_oor and (oor_low is None or oor_high is None):
+        raise ValidationError("pass both oor_low and oor_high, or neither")
     n_bins = 1 << depth
     r_min = r_min_v.reshape(1, -1)
     scale = scale_v.reshape(1, -1)
@@ -132,10 +160,13 @@ def bin_indices(
     def kernel(block: np.ndarray) -> np.ndarray:
         idx = (block - r_min) * scale
         np.floor(idx, out=idx)
+        if track_oor:
+            oor_low[...] += (idx < 0).sum(axis=0)
+            oor_high[...] += (idx > n_bins - 1).sum(axis=0)
         np.clip(idx, 0, n_bins - 1, out=idx)
         return idx.astype(np.int32, copy=False)
 
-    if engine is None:
+    if engine is None or track_oor:
         result = kernel(x)
         if out is not None:
             out[...] = result

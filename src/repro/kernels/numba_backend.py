@@ -44,7 +44,7 @@ def _compiled_kernel():  # pragma: no cover - requires numba
 
     @njit(cache=True, nogil=True)
     def fused(projected, r_min, scale, n_bins, hist_flat, use_hist,
-              codes, use_codes, rows, use_rows):
+              codes, use_codes, rows, use_rows, oor_low, oor_high, use_oor):
         # projected is dimension-major: (n dims × m samples).
         n, m = projected.shape
         for i in range(m):
@@ -66,8 +66,12 @@ def _compiled_kernel():  # pragma: no cover - requires numba
                 v = np.floor(v)
                 if v < 0.0:
                     v = 0.0
+                    if use_oor:
+                        oor_low[j] += 1
                 elif v > top:
                     v = top
+                    if use_oor:
+                        oor_high[j] += 1
                 b = np.int64(v)
                 if use_hist:
                     hist_flat[j * n_bins + b] += 1
@@ -115,20 +119,40 @@ class NumbaBackend(NumpyBackend):
         hist_flat: Optional[np.ndarray] = None,
         codes: Optional[np.ndarray] = None,
         rows: Optional[np.ndarray] = None,
+        oor_low: Optional[np.ndarray] = None,
+        oor_high: Optional[np.ndarray] = None,
+        obs_lo: Optional[np.ndarray] = None,
+        obs_hi: Optional[np.ndarray] = None,
     ) -> int:
         n, m = projected.shape
         if m == 0:
             return -1
+        if obs_lo is not None and obs_hi is not None:
+            # Bounds before the JIT kernel clobbers the workspace. The
+            # accumulators must stay clean on a non-finite chunk, so
+            # fold through temporaries only after the screen passes
+            # (NaN propagates through min/max; ±inf survives them).
+            mn = projected.min(axis=1)
+            mx = projected.max(axis=1)
+            if not (np.isfinite(mn).all() and np.isfinite(mx).all()):
+                finite_cols = np.isfinite(projected).all(axis=0)
+                return int(np.flatnonzero(~finite_cols)[0])
+            np.minimum(obs_lo, mn, out=obs_lo)
+            np.maximum(obs_hi, mx, out=obs_hi)
         use_hist = hist_flat is not None
         use_codes = codes is not None
         use_rows = rows is not None
+        use_oor = oor_low is not None and oor_high is not None
         hist_arg = hist_flat if use_hist else np.empty(0, dtype=np.int64)
         codes_arg = codes if use_codes else np.empty(0, dtype=np.uint64)
         rows_arg = rows if use_rows else np.empty((0, 0), dtype=np.uint8)
+        oor_lo_arg = oor_low if use_oor else np.empty(0, dtype=np.int64)
+        oor_hi_arg = oor_high if use_oor else np.empty(0, dtype=np.int64)
         return int(
             self._kernel(
                 projected, r_min, scale,
                 np.int64(n_bins), hist_arg, use_hist,
                 codes_arg, use_codes, rows_arg, use_rows,
+                oor_lo_arg, oor_hi_arg, use_oor,
             )
         )

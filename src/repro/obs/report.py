@@ -32,8 +32,15 @@ __all__ = [
     "recovery_table",
     "overload_table",
     "fleet_table",
+    "stream_table",
     "trace_table",
 ]
+
+#: Edge-bin mass fraction above which the stream table warns: this much
+#: of the deepest-depth histogram sitting in boundary bins means the
+#: fixed range is clipping real structure (enable adaptive binning or
+#: widen feature_range).
+EDGE_BIN_WARN_FRACTION = 0.05
 
 
 def _family_values(reg: MetricsRegistry, name: str) -> List[Dict[str, Any]]:
@@ -303,6 +310,75 @@ def fleet_table(reg: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def stream_table(
+    reg: MetricsRegistry, edge_warn: float = EDGE_BIN_WARN_FRACTION
+) -> str:
+    """Render open-world stream health: out-of-range rows, grid rebins,
+    drift scores, responses, and edge-bin saturation.
+
+    Emits an explicit WARNING line when any projection's edge-bin mass
+    fraction (``stream_edge_bin_fraction``) exceeds ``edge_warn`` — the
+    signature of a fixed range clipping real structure into boundary
+    bins. Series a run never touched are omitted; a run with none of
+    them renders the usual one-liner.
+    """
+    lines: List[str] = []
+    oor: Dict[Tuple[str, str], int] = {}
+    for s in _family_values(reg, "stream_out_of_range_total"):
+        if s["value"]:
+            key = (s["labels"]["projection"], s["labels"]["side"])
+            oor[key] = oor.get(key, 0) + int(s["value"])
+    if oor:
+        total = sum(oor.values())
+        detail = "  ".join(
+            f"proj{p}/{side}={v}" for (p, side), v in sorted(oor.items())
+        )
+        lines.append(f"  out-of-range rows: {total:,}  ({detail})")
+    rebins = {
+        s["labels"]["projection"]: int(s["value"])
+        for s in _family_values(reg, "stream_rebin_total")
+        if s["value"]
+    }
+    if rebins:
+        detail = "  ".join(f"proj{p}={v}" for p, v in sorted(rebins.items()))
+        lines.append(
+            f"  adaptive grid rebins: {sum(rebins.values())}  ({detail})"
+        )
+    scores = {
+        s["labels"]["projection"]: float(s["value"])
+        for s in _family_values(reg, "stream_drift_score")
+    }
+    if scores:
+        detail = "  ".join(f"proj{p}={v:.3f}" for p, v in sorted(scores.items()))
+        lines.append(f"  drift scores (latest window TV): {detail}")
+    responses = sum(
+        int(s["value"])
+        for s in _family_values(reg, "stream_drift_responses_total")
+    )
+    if responses:
+        lines.append(f"  drift-triggered republishes: {responses}")
+    edges = {
+        s["labels"]["projection"]: float(s["value"])
+        for s in _family_values(reg, "stream_edge_bin_fraction")
+    }
+    if edges:
+        detail = "  ".join(f"proj{p}={v:.4f}" for p, v in sorted(edges.items()))
+        lines.append(f"  edge-bin mass fraction: {detail}")
+        hot = {p: v for p, v in edges.items() if v > edge_warn}
+        if hot:
+            worst = max(hot.values())
+            lines.append(
+                f"  WARNING: edge-bin mass {worst:.1%} exceeds "
+                f"{edge_warn:.0%} on projection(s) "
+                f"{', '.join(sorted(hot))} — the fixed range is clipping "
+                "real structure; enable adaptive binning or widen "
+                "feature_range"
+            )
+    if not lines:
+        return "  (no stream range/drift events)"
+    return "\n".join(lines)
+
+
 def trace_table(summary: Dict[str, Any]) -> str:
     """Render one distributed trace's critical-path breakdown.
 
@@ -454,6 +530,9 @@ def run_obs_report(
         "",
         "Fleet routing (fleet_routed_total / fleet_shard_spill_total):",
         fleet_table(report_reg),
+        "",
+        "Stream range/drift (stream_out_of_range_total / stream_drift_score):",
+        stream_table(report_reg),
         "",
         f"  communicator total bytes sent (all ranks, incl. control): "
         f"{total_sent:,}",

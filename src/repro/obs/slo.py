@@ -21,6 +21,11 @@ repo cares about:
 ``latency_p99``
     p99 interpolated from ``serve_request_seconds`` bucket deltas over
     the window, against a threshold in seconds.
+``drift_score``
+    The worst ``stream_drift_score`` gauge (max over projections and
+    over the window) against the drift SLO threshold — sustained
+    distribution drift that the automatic re-projection response is not
+    absorbing fires this before stale cluster models degrade answers.
 
 Rules are evaluated per instance (one replica = one failure domain) —
 a fleet-wide rollup would let one sick replica hide behind N−1 healthy
@@ -159,6 +164,35 @@ class SeriesStore:
             for key in self.label_sets(instance, name)
         )
 
+    def window_max(self, instance: str, name: str, window_s: float,
+                   now: Optional[float] = None) -> Optional[float]:
+        """Max gauge value across every label set over the trailing window.
+
+        Like :meth:`delta`, the newest sample at or before the window
+        edge participates (a gauge's value is in effect until the next
+        sample), so a slow scrape cadence never reads as "no data".
+        Returns ``None`` when the family has no samples at all.
+        """
+        best: Optional[float] = None
+        for key in self.label_sets(instance, name):
+            points = self._ring(instance, name, key)
+            if not points:
+                continue
+            now_v = points[-1][0] if now is None else float(now)
+            edge = now_v - float(window_s)
+            straddle: Optional[float] = None
+            ring_best: Optional[float] = None
+            for ts, value in points:
+                if ts <= edge:
+                    straddle = value
+                elif ring_best is None or value > ring_best:
+                    ring_best = value
+            if ring_best is None:
+                ring_best = straddle
+            if ring_best is not None and (best is None or ring_best > best):
+                best = ring_best
+        return best
+
     def quantile(self, instance: str, name: str, q: float, window_s: float,
                  now: Optional[float] = None) -> Optional[float]:
         """Quantile from histogram bucket deltas over the window.
@@ -229,7 +263,9 @@ class SLORule:
     )
 
     def __post_init__(self):
-        if self.kind not in ("availability", "shed_rate", "latency_p99"):
+        if self.kind not in (
+            "availability", "shed_rate", "latency_p99", "drift_score"
+        ):
             raise ValidationError(f"unknown SLO kind {self.kind!r}")
         if self.kind == "availability" and not 0 < self.objective < 1:
             raise ValidationError("availability objective must be in (0, 1)")
@@ -237,6 +273,10 @@ class SLORule:
             raise ValidationError("shed_rate objective must be in (0, 1)")
         if self.kind == "latency_p99" and self.objective <= 0:
             raise ValidationError("latency_p99 objective must be > 0 seconds")
+        if self.kind == "drift_score" and not 0 < self.objective <= 1:
+            raise ValidationError(
+                "drift_score objective must be in (0, 1] (TV is bounded by 1)"
+            )
 
 
 @dataclass(frozen=True)
@@ -269,6 +309,11 @@ def default_rules() -> Tuple[SLORule, ...]:
         SLORule("shed_rate", "shed_rate", 0.05),
         SLORule("latency_p99", "latency_p99", 0.25,
                 windows=(Window(300.0, 60.0, 1.0, "page"),)),
+        # TV is bounded by 1, so drift burns at factor 1 against the
+        # threshold itself: both windows over the objective means the
+        # drift response is not keeping up, not just one noisy window.
+        SLORule("drift_score", "drift_score", 0.25,
+                windows=(Window(300.0, 60.0, 1.0, "ticket"),)),
     )
 
 
@@ -338,6 +383,13 @@ class SLOEvaluator:
                 return None, 0.0
             ratio = sheds / (requests + sheds)
             return ratio / rule.objective, ratio
+        if rule.kind == "drift_score":
+            score = store.window_max(
+                instance, "stream_drift_score", window_s, now
+            )
+            if score is None:
+                return None, 0.0
+            return score / rule.objective, score
         # latency_p99
         p99 = store.quantile(
             instance, "serve_request_seconds", 0.99, window_s, now

@@ -6,7 +6,14 @@ import pytest
 from repro.data.correlated import correlated_clusters
 from repro.data.gaussians import gaussian_mixture
 from repro.data.shapes import box_clusters, moons, ring_clusters
-from repro.data.streams import BatchStream, DriftingStream, distributed_partitions
+from repro.data.streams import (
+    BatchStream,
+    DriftingStream,
+    MeanShiftStream,
+    RangeGrowthStream,
+    RegimeChangeStream,
+    distributed_partitions,
+)
 from repro.errors import ValidationError
 
 
@@ -187,3 +194,106 @@ class TestDistributedPartitions:
     def test_invalid_skew(self, rng):
         with pytest.raises(ValidationError):
             distributed_partitions(rng.random((10, 2)), None, 2, skew=2.0)
+
+
+class TestRangeGrowthStream:
+    def test_shapes_and_determinism(self):
+        a = [(x.copy(), y.copy()) for x, y in RangeGrowthStream(
+            n_batches=4, batch_size=50, n_dims=3, seed=7)]
+        b = list(RangeGrowthStream(n_batches=4, batch_size=50, n_dims=3,
+                                   seed=7))
+        assert len(a) == 4
+        for (xa, ya), (xb, yb) in zip(a, b):
+            assert xa.shape == (50, 3) and ya.shape == (50,)
+            assert ya.dtype == np.int64
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_spread_grows_geometrically(self):
+        spreads = [float(np.abs(x).max()) for x, _ in RangeGrowthStream(
+            n_batches=8, batch_size=400, n_dims=4, growth=2.0, seed=0)]
+        # Late batches dwarf early ones: any fixed range is exceeded.
+        assert spreads[-1] > 20 * spreads[0]
+
+    def test_growth_one_is_stationary(self):
+        spreads = [float(np.abs(x).max()) for x, _ in RangeGrowthStream(
+            n_batches=6, batch_size=400, n_dims=4, growth=1.0, seed=0)]
+        assert max(spreads) < 3 * min(spreads)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RangeGrowthStream(n_batches=0, batch_size=10, n_dims=2)
+        with pytest.raises(ValidationError):
+            RangeGrowthStream(n_batches=2, batch_size=10, n_dims=2,
+                              growth=0.0)
+
+
+class TestMeanShiftStream:
+    def test_mean_walks_linearly(self):
+        means = [x.mean(axis=0) for x, _ in MeanShiftStream(
+            n_batches=10, batch_size=500, n_dims=4, shift=2.0, seed=1)]
+        steps = [float(np.linalg.norm(means[i + 1] - means[i]))
+                 for i in range(len(means) - 1)]
+        # Every step moves by ~shift along one fixed unit direction
+        # (batch means also jitter with cluster-membership sampling, a
+        # noise term of order separation/sqrt(batch_size) per step).
+        for step in steps:
+            assert 0.5 < step < 4.0
+        total = float(np.linalg.norm(means[-1] - means[0]))
+        assert total == pytest.approx(2.0 * 9, rel=0.15)
+
+    def test_geometry_is_stationary(self):
+        # Centered batches look alike: only the mean moves.
+        batches = [x for x, _ in MeanShiftStream(
+            n_batches=6, batch_size=2000, n_dims=3, shift=3.0, seed=2)]
+        stds = [np.std(x - x.mean(axis=0)) for x in batches]
+        assert max(stds) < 1.2 * min(stds)
+
+    def test_deterministic(self):
+        a = list(MeanShiftStream(n_batches=3, batch_size=20, n_dims=2,
+                                 seed=9))
+        b = list(MeanShiftStream(n_batches=3, batch_size=20, n_dims=2,
+                                 seed=9))
+        for (xa, _), (xb, _) in zip(a, b):
+            np.testing.assert_array_equal(xa, xb)
+
+
+class TestRegimeChangeStream:
+    def test_labels_disjoint_across_regimes(self):
+        stream = list(RegimeChangeStream(n_batches=6, batch_size=100,
+                                         n_dims=3, change_at=3,
+                                         n_clusters=4, seed=0))
+        before = np.unique(np.concatenate([y for _, y in stream[:3]]))
+        after = np.unique(np.concatenate([y for _, y in stream[3:]]))
+        assert before.max() < 4 <= after.min()
+        assert not set(before) & set(after)
+
+    def test_n_clusters_after_controls_second_regime(self):
+        stream = list(RegimeChangeStream(n_batches=4, batch_size=400,
+                                         n_dims=3, change_at=2,
+                                         n_clusters=2, n_clusters_after=5,
+                                         seed=1))
+        after = np.unique(np.concatenate([y for _, y in stream[2:]]))
+        assert set(after) == set(range(2, 7))
+
+    def test_distribution_actually_moves(self):
+        stream = list(RegimeChangeStream(n_batches=6, batch_size=500,
+                                         n_dims=4, change_at=3, seed=2))
+        mean_before = np.concatenate([x for x, _ in stream[:3]]).mean(axis=0)
+        mean_after = np.concatenate([x for x, _ in stream[3:]]).mean(axis=0)
+        assert np.linalg.norm(mean_after - mean_before) > 2.0
+
+    def test_change_at_must_be_interior(self):
+        for bad in (0, 5, -1):
+            with pytest.raises(ValidationError):
+                RegimeChangeStream(n_batches=5, batch_size=10, n_dims=2,
+                                   change_at=bad)
+
+    def test_deterministic(self):
+        a = list(RegimeChangeStream(n_batches=4, batch_size=30, n_dims=2,
+                                    change_at=2, seed=4))
+        b = list(RegimeChangeStream(n_batches=4, batch_size=30, n_dims=2,
+                                    change_at=2, seed=4))
+        for (xa, ya), (xb, yb) in zip(a, b):
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)

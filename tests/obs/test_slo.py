@@ -117,6 +117,32 @@ class TestSeriesStore:
         assert store.quantile("r0", "serve_request_seconds", 0.99, 120.0,
                               now=T0 + 60) == pytest.approx(0.1)
 
+    def test_window_max_spans_label_sets(self):
+        # Drift gauges are per projection; the rule cares about the worst.
+        store = SeriesStore()
+        for proj, score in (("0", 0.1), ("1", 0.8), ("2", 0.3)):
+            _feed_counter(store, "r0", "stream_drift_score",
+                          {"projection": proj}, [(T0, score)])
+        assert store.window_max("r0", "stream_drift_score", 60.0,
+                                now=T0 + 1) == pytest.approx(0.8)
+
+    def test_window_max_straddles_window_edge(self):
+        # A gauge holds its value until the next sample: the newest point
+        # at-or-before the edge still counts, old history does not.
+        store = SeriesStore()
+        _feed_counter(store, "r0", "stream_drift_score",
+                      {"projection": "0"},
+                      [(T0, 0.9), (T0 + 100, 0.05)])
+        assert store.window_max("r0", "stream_drift_score", 60.0,
+                                now=T0 + 130) == pytest.approx(0.05)
+        # A wider window reaches the drifted sample itself.
+        assert store.window_max("r0", "stream_drift_score", 200.0,
+                                now=T0 + 130) == pytest.approx(0.9)
+
+    def test_window_max_none_without_samples(self):
+        assert SeriesStore().window_max("r0", "stream_drift_score",
+                                        60.0, now=T0) is None
+
 
 def _burning_store(error_ratio, n=40, period=30.0, requests_per_tick=100.0):
     """Store with a steady request rate and the given error ratio."""
@@ -209,6 +235,38 @@ class TestBurnRateAlerts:
         alerts = SLOEvaluator([SLORule("availability", "availability",
                                        0.999)]).evaluate(store, now=now)
         assert [a.instance for a in alerts] == ["r0"]
+
+    def _drift_store(self, tail_score, head_score=0.9, n=14, period=30.0):
+        """Scores are ``head_score`` until the last two samples, which
+        carry ``tail_score`` — enough to cover the 60 s short window."""
+        store = SeriesStore()
+        for i in range(n):
+            score = tail_score if i >= n - 2 else head_score
+            store.record("r0", "stream_drift_score", {"projection": "1"},
+                         score, T0 + i * period)
+        return store, T0 + (n - 1) * period
+
+    def test_sustained_drift_fires_ticket(self):
+        store, now = self._drift_store(tail_score=0.9)
+        alerts = SLOEvaluator(default_rules()).evaluate(store, now=now)
+        drift = [a for a in alerts if a.kind == "drift_score"]
+        assert len(drift) == 1
+        assert drift[0].severity == "ticket"
+        # Burn = worst window score over the 0.25 objective.
+        assert drift[0].burn == pytest.approx(0.9 / 0.25)
+        assert drift[0].value == pytest.approx(0.9)
+
+    def test_absorbed_drift_stops_paging(self):
+        # The re-projection response brought scores back down: the long
+        # window still remembers the excursion, the short window gates.
+        store, now = self._drift_store(tail_score=0.02)
+        alerts = SLOEvaluator(default_rules()).evaluate(store, now=now)
+        assert not [a for a in alerts if a.kind == "drift_score"]
+
+    def test_subthreshold_drift_stays_silent(self):
+        store, now = self._drift_store(tail_score=0.2, head_score=0.2)
+        alerts = SLOEvaluator(default_rules()).evaluate(store, now=now)
+        assert not [a for a in alerts if a.kind == "drift_score"]
 
     def test_window_validation(self):
         with pytest.raises(ValidationError):
